@@ -1,0 +1,66 @@
+// Ablation A2 — archive-creation protocol: the paper's hierarchical
+// scheme (rank 0 + per-metahost local masters + one all-reduce) vs naive
+// per-process creation, over growing process counts.
+#include <cstdio>
+#include <filesystem>
+
+#include "archive/archive.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "simnet/topology.hpp"
+
+using namespace metascope;
+
+namespace {
+
+simnet::Topology scaled_topo(int procs_per_metahost) {
+  simnet::Topology topo;
+  for (int m = 0; m < 3; ++m) {
+    simnet::MetahostSpec spec;
+    spec.name = "M" + std::to_string(m);
+    spec.num_nodes = procs_per_metahost;
+    spec.cpus_per_node = 1;
+    spec.internal = simnet::LinkSpec{20e-6, 0.0, 1e9};
+    topo.add_metahost(spec);
+  }
+  for (int m = 0; m < 3; ++m)
+    topo.place_block(MetahostId{m}, procs_per_metahost, 1);
+  return topo;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A2",
+                "hierarchical vs naive archive creation protocol");
+  const auto base =
+      (std::filesystem::temp_directory_path() / "msc_bench_arch").string();
+
+  TextTable t({"processes", "hier attempts", "hier checks",
+               "naive attempts", "collective ops (hier)"});
+  for (int per : {4, 16, 64, 256}) {
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base);
+    const auto topo = scaled_topo(per);
+    const auto layout =
+        archive::FileSystemLayout::per_metahost(base, topo.num_metahosts());
+    archive::CreationStats hier;
+    archive::ExperimentArchive::create(topo, layout, "h", &hier);
+    archive::CreationStats naive;
+    archive::ExperimentArchive::create_naive(topo, layout, "n", &naive);
+    t.add_row({std::to_string(topo.num_ranks()),
+               std::to_string(hier.create_attempts),
+               std::to_string(hier.visibility_checks),
+               std::to_string(naive.create_attempts),
+               std::to_string(hier.broadcasts + hier.allreduces)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::filesystem::remove_all(base);
+  bench::note(
+      "\nShape check: creation attempts stay at the metahost count for\n"
+      "the hierarchical protocol (plus one broadcast and one all-reduce,\n"
+      "which scale logarithmically) while the naive scheme issues one\n"
+      "metadata operation per process — the contention the paper's\n"
+      "scheme avoids (Section 4, 'Runtime archive management').");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3 — flat vs hierarchical synchronization (ablation): the
+// ground-truth pairwise synchronization error inside and across
+// metahosts, swept over the external-link latency. The flat scheme's
+// intra-metahost error scales with the WAN latency (it derives internal
+// offsets from two WAN measurements); the hierarchical scheme's does not.
+#include <cstdio>
+
+#include "clocksync/correction.hpp"
+#include "clocksync/error_analysis.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+namespace {
+
+struct Outcome {
+  double intra_max_us;
+  double inter_max_us;
+};
+
+Outcome measure(double wan_scale, tracing::SyncScheme scheme) {
+  simnet::ViolaIds ids;
+  auto topo = simnet::make_viola_experiment1(&ids);
+  simnet::LinkSpec wan{microseconds(988.0) * wan_scale,
+                       microseconds(3.86) * wan_scale, 1.25e9};
+  wan.asymmetry = 0.08;
+  topo.set_external_link(ids.caesar, ids.fh_brs, wan);
+  topo.set_external_link(ids.caesar, ids.fzj, wan);
+  topo.set_external_link(ids.fh_brs, ids.fzj, wan);
+
+  workloads::ClockBenchConfig bc;
+  bc.rounds = 100;
+  const auto prog = workloads::build_clock_bench(topo.num_ranks(), bc);
+  workloads::ExperimentConfig cfg;
+  cfg.measurement.scheme = scheme;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto corr = clocksync::build_corrections(data.traces);
+  const auto survey = clocksync::survey_errors(
+      topo, data.clocks, corr, {TrueTime{0.1}, TrueTime{0.3}, TrueTime{0.6}});
+  return {survey.intra_metahost_abs.max() * 1e6,
+          survey.inter_metahost_abs.max() * 1e6};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 3 (ablation)",
+                "flat vs hierarchical synchronization error vs WAN latency");
+  TextTable t({"WAN latency [us]", "flat intra-mh err [us]",
+               "hier intra-mh err [us]", "flat inter-mh err [us]",
+               "hier inter-mh err [us]"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const Outcome flat = measure(scale, tracing::SyncScheme::FlatTwo);
+    const Outcome hier = measure(scale, tracing::SyncScheme::HierarchicalTwo);
+    t.add_row({TextTable::fixed(988.0 * scale, 0),
+               TextTable::fixed(flat.intra_max_us, 2),
+               TextTable::fixed(hier.intra_max_us, 2),
+               TextTable::fixed(flat.inter_max_us, 2),
+               TextTable::fixed(hier.inter_max_us, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  bench::note(
+      "\nShape check: the flat scheme's intra-metahost error grows with\n"
+      "the external latency and dwarfs the internal message latency\n"
+      "(21.5-55 us); the hierarchical scheme keeps it microseconds-level,\n"
+      "independent of the WAN (paper Figure 3 and Section 4). Inter-\n"
+      "metahost errors are similar for both — they are bounded by the\n"
+      "WAN measurement itself, and harmless relative to WAN latency.");
+  return 0;
+}

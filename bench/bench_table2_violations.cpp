@@ -1,0 +1,58 @@
+// Table 2 — Number of clock-condition violations recognized by the
+// parallel analyzer, for the three synchronization schemes, over the
+// short-message pair benchmark on the three-metahost VIOLA setup.
+#include <cstdio>
+
+#include "clocksync/clock_condition.hpp"
+#include "clocksync/correction.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+int main() {
+  bench::banner("Table 2",
+                "clock-condition violations by synchronization scheme");
+  const auto topo = simnet::make_viola_experiment1();
+
+  workloads::ClockBenchConfig bc;
+  bc.rounds = 2500;
+  bc.pad_work = 0.04;  // ~100 s virtual run: drift has room to act
+  const auto prog = workloads::build_clock_bench(topo.num_ranks(), bc);
+
+  struct Row {
+    tracing::SyncScheme scheme;
+    const char* label;
+    long paper;
+  };
+  const Row rows[] = {
+      {tracing::SyncScheme::FlatSingle, "single flat offset", 7560},
+      {tracing::SyncScheme::FlatTwo, "two flat offsets", 2179},
+      {tracing::SyncScheme::HierarchicalTwo, "two hierarchical offsets", 0},
+  };
+
+  TextTable t({"measurement", "paper violations", "measured violations",
+               "messages"});
+  for (const Row& row : rows) {
+    workloads::ExperimentConfig cfg;
+    cfg.measurement.scheme = row.scheme;
+    auto data = workloads::run_experiment(topo, prog, cfg);
+    clocksync::synchronize(data.traces);
+    const auto rep = clocksync::check_clock_condition(data.traces);
+    t.add_row({row.label, std::to_string(row.paper),
+               std::to_string(rep.violations),
+               std::to_string(rep.messages)});
+  }
+  std::printf("%s", t.render().c_str());
+  bench::note(
+      "\nShape check: single-flat >> two-flat >> hierarchical == 0. The\n"
+      "single flat offset cannot compensate drift; both flat schemes\n"
+      "inherit the WAN route-asymmetry bias per process, which breaks the\n"
+      "*relative* offsets of processes inside the same metahost; the\n"
+      "hierarchical scheme shares one inter-metahost measurement per\n"
+      "metahost, so intra-metahost offsets stay exact (paper Section 4).");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Shared helpers for the per-table/figure benchmark harnesses. Each
+// harness prints the corresponding paper artifact next to the values this
+// reproduction measures; EXPERIMENTS.md captures the outputs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace metascope::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+}  // namespace metascope::bench

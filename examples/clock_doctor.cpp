@@ -1,0 +1,60 @@
+// "Clock doctor": a diagnostic tool built on the clocksync substrate.
+// For a chosen metacomputer it measures how each synchronization scheme
+// holds up — recorded offsets, ground-truth residual errors, and
+// clock-condition violations — and explains which scheme to use.
+//
+// Usage: clock_doctor [rounds]   (default 800)
+#include <cstdio>
+#include <cstdlib>
+
+#include "clocksync/clock_condition.hpp"
+#include "clocksync/correction.hpp"
+#include "clocksync/error_analysis.hpp"
+#include "common/table.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 800;
+  const auto topo = simnet::make_viola_experiment1();
+  std::printf("%s\n", topo.describe().c_str());
+
+  workloads::ClockBenchConfig bc;
+  bc.rounds = rounds;
+  bc.pad_work = 0.02;
+  const auto prog = workloads::build_clock_bench(topo.num_ranks(), bc);
+
+  TextTable t({"scheme", "violations", "messages", "intra-mh err max [us]",
+               "inter-mh err max [us]", "worst reversal [us]"});
+  for (auto scheme :
+       {tracing::SyncScheme::FlatSingle, tracing::SyncScheme::FlatTwo,
+        tracing::SyncScheme::HierarchicalTwo}) {
+    workloads::ExperimentConfig cfg;
+    cfg.measurement.scheme = scheme;
+    auto data = workloads::run_experiment(topo, prog, cfg);
+    const auto corr = clocksync::build_corrections(data.traces);
+    clocksync::apply_corrections(data.traces, corr);
+    const auto rep = clocksync::check_clock_condition(data.traces);
+    const auto survey = clocksync::survey_errors(
+        topo, data.clocks, corr,
+        {TrueTime{1.0}, TrueTime{10.0}, TrueTime{20.0}});
+    t.add_row({tracing::to_string(scheme), std::to_string(rep.violations),
+               std::to_string(rep.messages),
+               TextTable::fixed(survey.intra_metahost_abs.max() * 1e6, 2),
+               TextTable::fixed(survey.inter_metahost_abs.max() * 1e6, 2),
+               TextTable::fixed(rep.worst_reversal * 1e6, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Diagnosis: flat schemes derive intra-metahost offsets from two\n"
+      "independent WAN measurements, inheriting the WAN's asymmetry bias;\n"
+      "their intra-metahost error exceeds the internal message latency\n"
+      "(21.5/44.4/55 us) and the clock condition breaks. The hierarchical\n"
+      "scheme measures inside each metahost over the fast links and pays\n"
+      "the WAN error only once, shared by all local processes — relative\n"
+      "offsets within a metahost stay exact and violations vanish.\n");
+  return 0;
+}

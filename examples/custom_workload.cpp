@@ -1,0 +1,123 @@
+// Writing your own workload: a master/worker parameter sweep with a
+// deliberately skewed work distribution, spread over two metahosts. The
+// example shows the fluent ProgramBuilder API, sub-communicators, and
+// how the grid patterns separate "slow hardware" from "bad distribution".
+//
+// Usage: custom_workload [tasks_per_worker]   (default 12)
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/analyzer.hpp"
+#include "clocksync/correction.hpp"
+#include "report/render.hpp"
+#include "simmpi/program.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+namespace {
+
+simnet::Topology two_sites() {
+  simnet::Topology topo;
+  simnet::MetahostSpec hq;
+  hq.name = "HQ-Cluster";
+  hq.num_nodes = 4;
+  hq.cpus_per_node = 2;
+  hq.internal = simnet::LinkSpec{microseconds(25), microseconds(1), 1e9};
+  simnet::MetahostSpec remote = hq;
+  remote.name = "Remote-Cluster";
+  const MetahostId a = topo.add_metahost(hq);
+  const MetahostId b = topo.add_metahost(remote);
+  simnet::LinkSpec wan{microseconds(900), microseconds(5), 1.25e9};
+  wan.asymmetry = 0.05;
+  topo.set_external_link(a, b, wan);
+  topo.place_block(a, 4, 2);  // ranks 0..7: master 0 + 7 local workers
+  topo.place_block(b, 4, 2);  // ranks 8..15: remote workers
+  return topo;
+}
+
+simmpi::Program master_worker(int nranks, int tasks_per_worker) {
+  simmpi::ProgramBuilder b(nranks);
+  std::vector<Rank> workers;
+  for (Rank r = 1; r < nranks; ++r) workers.push_back(r);
+  b.comms().create("comm_workers", workers);
+
+  constexpr int kTaskTag = 1;
+  constexpr int kResultTag = 2;
+  constexpr double kTaskBytes = 32 * 1024;
+  constexpr double kResultBytes = 4 * 1024;
+
+  auto& master = b.on(0);
+  master.enter("main").enter("distribute");
+  for (int t = 0; t < tasks_per_worker; ++t)
+    for (Rank w = 1; w < nranks; ++w)
+      master.send(w, kTaskTag, kTaskBytes);
+  master.exit();
+  master.enter("collect");
+  for (int t = 0; t < tasks_per_worker; ++t)
+    for (Rank w = 1; w < nranks; ++w)
+      master.recv(w, kResultTag);
+  master.exit();
+  master.barrier();
+  master.exit();
+
+  for (Rank w = 1; w < nranks; ++w) {
+    auto& worker = b.on(w);
+    worker.enter("main");
+    for (int t = 0; t < tasks_per_worker; ++t) {
+      worker.enter("fetch_task");
+      worker.recv(0, kTaskTag);
+      worker.exit();
+      worker.enter("process_task");
+      // Bad distribution: task cost grows with the worker id, so late
+      // workers are overloaded regardless of which cluster they sit on.
+      worker.compute(0.002 * (1.0 + 0.15 * w));
+      worker.exit();
+      worker.enter("report_result");
+      worker.send(0, kResultTag, kResultBytes);
+      worker.exit();
+    }
+    worker.barrier();
+    worker.exit();
+  }
+  return b.take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 12;
+  const auto topo = two_sites();
+  const auto prog = master_worker(topo.num_ranks(), tasks);
+
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  clocksync::synchronize(data.traces);
+  const auto res = analysis::analyze_parallel(data.traces);
+  const auto& ps = res.patterns;
+
+  std::printf("%s\n", report::render_metric_tree(res.cube).c_str());
+  std::printf("%s\n",
+              report::render_call_tree(res.cube, ps.late_sender).c_str());
+
+  // Per-metahost-pair breakdown (the fine-grained classification the
+  // paper lists as future work): who waits for whom across the WAN?
+  std::printf("Grid Late Sender by (waiter <- peer) metahost pair:\n");
+  for (int wmh = 0; wmh < topo.num_metahosts(); ++wmh) {
+    for (int pmh = 0; pmh < topo.num_metahosts(); ++pmh) {
+      const double v = res.cube.pair_breakdown(
+          ps.grid_late_sender, MetahostId{wmh}, MetahostId{pmh});
+      if (v > 0.0)
+        std::printf("  %-16s <- %-16s %8.3f s\n",
+                    topo.metahost(MetahostId{wmh}).name.c_str(),
+                    topo.metahost(MetahostId{pmh}).name.c_str(), v);
+    }
+  }
+  std::printf(
+      "\nReading the result: the master's 'collect' phase shows Late\n"
+      "Sender waits that grow with worker id — a distribution problem,\n"
+      "not a network problem; the grid breakdown shows the extra WAN\n"
+      "penalty for remote workers on top of it.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the whole MetaScope pipeline in ~60 lines.
+//
+//  1. describe a two-site metacomputer,
+//  2. write a small MPI-like program with the fluent builder,
+//  3. execute it on the simulator with realistic skewed clocks,
+//  4. synchronize timestamps hierarchically and search for wait-state
+//     patterns,
+//  5. print the three-panel analysis report.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/analyzer.hpp"
+#include "clocksync/correction.hpp"
+#include "report/render.hpp"
+#include "simmpi/program.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+int main() {
+  // --- 1. a metacomputer: two 4-node sites joined by a slow WAN --------
+  simnet::Topology topo;
+  simnet::MetahostSpec site_a;
+  site_a.name = "SiteA";
+  site_a.num_nodes = 4;
+  site_a.cpus_per_node = 1;
+  site_a.internal = simnet::LinkSpec{microseconds(20), microseconds(1), 1e9};
+  simnet::MetahostSpec site_b = site_a;
+  site_b.name = "SiteB";
+  site_b.speed_factor = 0.5;  // SiteB's CPUs are half as fast
+  const MetahostId a = topo.add_metahost(site_a);
+  const MetahostId b = topo.add_metahost(site_b);
+  simnet::LinkSpec wan{milliseconds(1.0), microseconds(4), 1.25e9};
+  wan.asymmetry = 0.08;
+  topo.set_external_link(a, b, wan);
+  topo.place_block(a, 4, 1);  // ranks 0..3
+  topo.place_block(b, 4, 1);  // ranks 4..7
+
+  // --- 2. an 8-rank program: compute, exchange, reduce ------------------
+  simmpi::ProgramBuilder builder(topo.num_ranks());
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    auto& p = builder.on(r);
+    p.enter("main");
+    for (int step = 0; step < 10; ++step) {
+      p.enter("solve");
+      p.compute(0.01);  // SiteB needs 0.02 s for this
+      p.exit();
+      p.enter("exchange");
+      p.sendrecv((r + 1) % 8, 64 * 1024, (r + 7) % 8, 64 * 1024, step);
+      p.exit();
+      p.allreduce(64.0);
+    }
+    p.exit();
+  }
+  const simmpi::Program prog = builder.take();
+
+  // --- 3. run it with skewed, drifting node clocks ----------------------
+  workloads::ExperimentConfig cfg;  // hierarchical sync is the default
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  std::printf("simulated run: %.3f s, %zu trace events\n",
+              data.exec.end_time.s, data.traces.total_events());
+
+  // --- 4. synchronize + analyze -----------------------------------------
+  clocksync::synchronize(data.traces);
+  const auto result = analysis::analyze_parallel(data.traces);
+
+  // --- 5. report ---------------------------------------------------------
+  report::RenderOptions opts;
+  opts.selected_metric = "Grid Wait at N x N";
+  std::printf("%s\n", report::render_report(result.cube, opts).c_str());
+  std::printf(
+      "Reading the result: SiteB computes at half speed, so SiteA's ranks\n"
+      "wait in the Allreduce (Grid Wait at N x N) and in the ring\n"
+      "exchange (Grid Late Sender) — the analyzer pinpoints both.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The two trace analyzers (paper §3 "Trace analysis", §4 "Parallel trace
+// analysis"):
+//
+//  - analyze_serial: the KOJAK-style baseline — conceptually merges the
+//    local traces into one global stream and searches it in one pass;
+//  - analyze_parallel: the SCALASCA-style analyzer — one analysis worker
+//    per application process replays the application's communication,
+//    exchanging only the few bytes each pattern needs (timestamps and
+//    call-path ids) instead of whole traces. Each worker touches only its
+//    own local trace, which is why this analyzer works without a shared
+//    file system.
+//
+// Both produce identical severity cubes; tests enforce it.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/patterns.hpp"
+#include "report/cube.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::analysis {
+
+struct AnalysisStats {
+  std::size_t messages{0};
+  std::size_t collective_instances{0};
+  /// Bytes moved between analysis workers during the replay (parallel
+  /// analyzer only). Compare against trace_bytes: the paper's claim is
+  /// that this is much smaller than shipping traces around.
+  std::size_t replay_bytes{0};
+  /// Total encoded size of all local traces.
+  std::size_t trace_bytes{0};
+  std::size_t events{0};
+};
+
+struct AnalysisResult {
+  report::Cube cube;
+  PatternSet patterns;
+  AnalysisStats stats;
+};
+
+/// Serial (merged-trace) pattern search. Requires a synchronized
+/// collection (or scheme None, whose clocks are the engine's own).
+AnalysisResult analyze_serial(const tracing::TraceCollection& tc);
+
+/// Parallel replay-based pattern search: one worker thread per rank,
+/// message matching re-enacted over in-memory channels. Produces a cube
+/// bit-identical to analyze_serial.
+AnalysisResult analyze_parallel(const tracing::TraceCollection& tc);
+
+}  // namespace metascope::analysis

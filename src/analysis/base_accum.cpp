@@ -1,0 +1,46 @@
+#include "analysis/base_accum.hpp"
+
+#include "common/error.hpp"
+
+namespace metascope::analysis {
+
+std::vector<RegionCategory> classify_cnodes(
+    const report::CallTree& calls, const NameTable<RegionId>& regions) {
+  std::vector<RegionCategory> out(calls.size());
+  for (std::size_t c = 0; c < calls.size(); ++c) {
+    const auto& node = calls.node(CallPathId{static_cast<int>(c)});
+    out[c] = classify_region(regions.name(node.region));
+  }
+  return out;
+}
+
+MetricId category_metric(const PatternSet& ps, RegionCategory cat) {
+  switch (cat) {
+    case RegionCategory::User: return ps.time;
+    case RegionCategory::PointToPoint: return ps.p2p;
+    case RegionCategory::Collective: return ps.collective;
+    case RegionCategory::Synchronization: return ps.synchronization;
+  }
+  MSC_ASSERT(false, "unknown region category");
+}
+
+PatternSet init_cube(report::Cube& cube, const tracing::TraceCollection& tc,
+                     const PreparedTrace& prepared) {
+  const PatternSet ps = PatternSet::install(cube.metrics);
+  cube.calls = prepared.calls;
+  cube.regions = tc.defs.regions;
+  cube.system = tc.defs;
+
+  const auto cats = classify_cnodes(cube.calls, cube.regions);
+  for (Rank r = 0; r < tc.num_ranks(); ++r) {
+    for (const auto& et :
+         prepared.excl_time[static_cast<std::size_t>(r)]) {
+      const MetricId m = category_metric(
+          ps, cats[static_cast<std::size_t>(et.cnode.get())]);
+      cube.add(m, et.cnode, r, et.seconds);
+    }
+  }
+  return ps;
+}
+
+}  // namespace metascope::analysis

@@ -1,0 +1,27 @@
+// Shared between the serial and parallel analyzers: cube construction and
+// base (non-wait) time accumulation.
+#pragma once
+
+#include <vector>
+
+#include "analysis/patterns.hpp"
+#include "analysis/prepare.hpp"
+#include "report/cube.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::analysis {
+
+/// Per-call-path region category, indexed by CallPathId.
+std::vector<RegionCategory> classify_cnodes(
+    const report::CallTree& calls, const NameTable<RegionId>& regions);
+
+/// Metric a category's exclusive time belongs to.
+MetricId category_metric(const PatternSet& ps, RegionCategory cat);
+
+/// Builds the cube skeleton (metric tree, call tree, system) and
+/// accumulates every rank's exclusive times into the category metrics.
+/// Wait detection afterwards moves time from categories into patterns.
+PatternSet init_cube(report::Cube& cube, const tracing::TraceCollection& tc,
+                     const PreparedTrace& prepared);
+
+}  // namespace metascope::analysis

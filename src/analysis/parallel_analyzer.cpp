@@ -1,0 +1,234 @@
+// SCALASCA-style parallel replay analysis: one worker thread per
+// application process. Workers re-enact the recorded communication over
+// in-memory channels, moving only the few bytes each pattern formula
+// needs. The exchange protocol per message mirrors the original
+// communication direction:
+//
+//   sender:   push {rank, enter, exit, cnode}  -> forward channel
+//   receiver: pop                              <- forward channel
+//
+// The receiver then evaluates BOTH point-to-point patterns — Late Sender
+// (it is the waiter) and Late Receiver (the sender was the waiter; the
+// hit record simply carries the sender's rank and call path). Senders
+// never block in the replay, exactly like an eager MPI send, so any
+// deadlock-free application trace replays deadlock-free. Collectives
+// synchronize through a per-instance context; the last arriver evaluates
+// the pattern formulas for the whole instance.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/base_accum.hpp"
+#include "analysis/prepare.hpp"
+#include "analysis/wait_rules.hpp"
+#include "common/error.hpp"
+#include "tracing/epilog_io.hpp"
+
+namespace metascope::analysis {
+
+using tracing::EventType;
+
+namespace {
+
+/// Timestamps + call path one replay side shares with its peer.
+/// Wire size when packed: rank (4) + two timestamps (16) + cnode (4).
+constexpr std::size_t kPeerWireBytes = 24;
+
+struct PeerInfo {
+  Rank rank{kNoRank};
+  double op_enter{0.0};
+  double op_exit{0.0};
+  CallPathId cnode;
+};
+
+class Channel {
+ public:
+  void push(const PeerInfo& info) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      q_.push_back(info);
+    }
+    cv_.notify_one();
+  }
+
+  PeerInfo pop() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return !q_.empty(); });
+    PeerInfo info = q_.front();
+    q_.pop_front();
+    return info;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<PeerInfo> q_;
+};
+
+/// Channels keyed by (src, dst, tag, comm); created on first use.
+class ChannelMap {
+ public:
+  Channel& get(Rank src, Rank dst, int tag, int comm) {
+    const auto key = std::tuple(src, dst, tag, comm);
+    std::lock_guard<std::mutex> lock(m_);
+    auto& slot = map_[key];
+    if (!slot) slot = std::make_unique<Channel>();
+    return *slot;
+  }
+
+ private:
+  std::mutex m_;
+  std::map<std::tuple<Rank, Rank, int, int>, std::unique_ptr<Channel>> map_;
+};
+
+/// Rendezvous context for one collective instance.
+struct CollCtx {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<CollMember> members;
+  Rank root{kNoRank};
+  RegionId region;
+  bool done{false};
+  std::vector<WaitHit> hits;
+};
+
+class CollCtxMap {
+ public:
+  CollCtx& get(int comm, int seq) {
+    const auto key = std::pair(comm, seq);
+    std::lock_guard<std::mutex> lock(m_);
+    auto& slot = map_[key];
+    if (!slot) slot = std::make_unique<CollCtx>();
+    return *slot;
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  std::mutex m_;
+  std::map<std::pair<int, int>, std::unique_ptr<CollCtx>> map_;
+};
+
+}  // namespace
+
+AnalysisResult analyze_parallel(const tracing::TraceCollection& tc) {
+  MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
+            "analyze_parallel requires synchronized timestamps");
+  AnalysisResult res;
+  // Definition unification runs serially (as SCALASCA's does) so that
+  // call-path ids match the serial analyzer exactly.
+  const PreparedTrace prep = prepare(tc);
+  res.patterns = init_cube(res.cube, tc, prep);
+  const PatternSet& ps = res.patterns;
+  const tracing::TraceDefs& defs = tc.defs;
+
+  ChannelMap fwd;
+  CollCtxMap colls;
+  std::atomic<std::size_t> replay_bytes{0};
+  std::atomic<std::size_t> messages{0};
+
+  const int n = tc.num_ranks();
+  std::vector<std::vector<WaitHit>> worker_hits(
+      static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> worker_error(
+      static_cast<std::size_t>(n));
+
+  auto worker = [&](Rank me) {
+    try {
+      const auto ri = static_cast<std::size_t>(me);
+      const auto& trace = tc.ranks[ri];
+      const auto& ann = prep.per_rank[ri];
+      auto& hits = worker_hits[ri];
+      std::map<int, int> coll_seq;
+
+      for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+        const auto& e = trace.events[i];
+        switch (e.type) {
+          case EventType::Send: {
+            PeerInfo mine{me, ann.op_enter[i], ann.op_exit[i], ann.cnode[i]};
+            fwd.get(me, e.peer, e.tag, e.comm.get()).push(mine);
+            replay_bytes += kPeerWireBytes;
+            break;
+          }
+          case EventType::Recv: {
+            const PeerInfo send_side =
+                fwd.get(e.peer, me, e.tag, e.comm.get()).pop();
+            messages += 1;
+            // The receiver holds both sides' data and evaluates both
+            // point-to-point patterns with the shared formulas. Regions
+            // come from the (read-only) unified call tree.
+            P2pSide send_s{send_side.rank, send_side.op_enter,
+                           send_side.op_exit, send_side.cnode,
+                           prep.calls.node(send_side.cnode).region};
+            P2pSide recv_s{me, ann.op_enter[i], ann.op_exit[i],
+                           ann.cnode[i],
+                           prep.calls.node(ann.cnode[i]).region};
+            p2p_hits(ps, defs, send_s, recv_s, hits);
+            break;
+          }
+          case EventType::CollExit: {
+            const int seq = coll_seq[e.comm.get()]++;
+            CollCtx& ctx = colls.get(e.comm.get(), seq);
+            const auto& comm =
+                defs.comms[static_cast<std::size_t>(e.comm.get())];
+            CollMember m;
+            m.rank = me;
+            m.enter = ann.op_enter[i];
+            m.exit = ann.op_exit[i];
+            m.cnode = ann.cnode[i];
+            std::unique_lock<std::mutex> lock(ctx.m);
+            ctx.members.push_back(m);
+            ctx.root = e.root;
+            ctx.region = e.region;
+            replay_bytes += kPeerWireBytes;
+            if (ctx.members.size() == comm.members.size()) {
+              const CollectiveKind kind =
+                  collective_kind(defs.regions.name(ctx.region));
+              collective_hits(ps, defs, kind, comm.members, ctx.members,
+                              ctx.root, ctx.hits);
+              ctx.done = true;
+              // The last arriver adopts the instance's hits.
+              hits.insert(hits.end(), ctx.hits.begin(), ctx.hits.end());
+              lock.unlock();
+              ctx.cv.notify_all();
+            } else {
+              ctx.cv.wait(lock, [&ctx] { return ctx.done; });
+            }
+            break;
+          }
+          case EventType::Enter:
+          case EventType::Exit:
+            break;
+        }
+      }
+    } catch (...) {
+      worker_error[static_cast<std::size_t>(me)] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) threads.emplace_back(worker, r);
+  for (auto& t : threads) t.join();
+  for (const auto& err : worker_error)
+    if (err) std::rethrow_exception(err);
+
+  for (const auto& hits : worker_hits)
+    for (const auto& h : hits) apply_hit(res.cube, h);
+
+  res.stats.messages = messages.load();
+  res.stats.collective_instances = colls.size();
+  res.stats.replay_bytes = replay_bytes.load();
+  res.stats.events = tc.total_events();
+  for (const auto& t : tc.ranks)
+    res.stats.trace_bytes += tracing::encode_local_trace(t).size();
+  return res;
+}
+
+}  // namespace metascope::analysis

@@ -1,0 +1,87 @@
+#include "analysis/patterns.hpp"
+
+namespace metascope::analysis {
+
+PatternSet PatternSet::install(report::MetricTree& tree) {
+  PatternSet p;
+  p.time = tree.add("Time", "Total execution time");
+  p.mpi = tree.add("MPI", "Time spent in MPI calls", p.time);
+  p.communication =
+      tree.add("Communication", "MPI communication", p.mpi);
+  p.p2p = tree.add("Point-to-point", "Point-to-point communication",
+                   p.communication);
+  p.late_sender = tree.add(
+      "Late Sender",
+      "Blocking receive posted earlier than the matching send", p.p2p);
+  p.grid_late_sender =
+      tree.add("Grid Late Sender",
+               "Late Sender with sender and receiver on different metahosts",
+               p.late_sender);
+  p.late_receiver = tree.add(
+      "Late Receiver",
+      "Sender blocked in a synchronous send until the receive was posted",
+      p.p2p);
+  p.grid_late_receiver = tree.add(
+      "Grid Late Receiver",
+      "Late Receiver with sender and receiver on different metahosts",
+      p.late_receiver);
+  p.collective =
+      tree.add("Collective", "Collective communication", p.communication);
+  p.early_reduce = tree.add(
+      "Early Reduce",
+      "Root of an N-to-1 operation waiting for the last contribution",
+      p.collective);
+  p.grid_early_reduce =
+      tree.add("Grid Early Reduce",
+               "Early Reduce on a communicator spanning metahosts",
+               p.early_reduce);
+  p.late_broadcast = tree.add(
+      "Late Broadcast",
+      "Non-root entered a 1-to-N operation before the root", p.collective);
+  p.grid_late_broadcast =
+      tree.add("Grid Late Broadcast",
+               "Late Broadcast on a communicator spanning metahosts",
+               p.late_broadcast);
+  p.wait_nxn = tree.add(
+      "Wait at N x N",
+      "Time in an N-to-N operation until all participants reached it",
+      p.collective);
+  p.grid_wait_nxn =
+      tree.add("Grid Wait at N x N",
+               "Wait at N x N on a communicator spanning metahosts",
+               p.wait_nxn);
+  p.synchronization =
+      tree.add("Synchronization", "MPI synchronization", p.mpi);
+  p.wait_barrier =
+      tree.add("Wait at Barrier",
+               "Time in a barrier until all participants reached it",
+               p.synchronization);
+  p.grid_wait_barrier =
+      tree.add("Grid Wait at Barrier",
+               "Wait at Barrier on a communicator spanning metahosts",
+               p.wait_barrier);
+  return p;
+}
+
+RegionCategory classify_region(const std::string& name) {
+  if (name.rfind("MPI_", 0) != 0) return RegionCategory::User;
+  if (name == "MPI_Barrier") return RegionCategory::Synchronization;
+  if (name == "MPI_Send" || name == "MPI_Recv" || name == "MPI_Isend" ||
+      name == "MPI_Irecv" || name == "MPI_Wait" || name == "MPI_Sendrecv")
+    return RegionCategory::PointToPoint;
+  return RegionCategory::Collective;
+}
+
+CollectiveKind collective_kind(const std::string& name) {
+  if (name == "MPI_Allreduce" || name == "MPI_Allgather" ||
+      name == "MPI_Alltoall")
+    return CollectiveKind::NxN;
+  if (name == "MPI_Barrier") return CollectiveKind::Barrier;
+  if (name == "MPI_Bcast" || name == "MPI_Scatter")
+    return CollectiveKind::OneToN;
+  if (name == "MPI_Reduce" || name == "MPI_Gather")
+    return CollectiveKind::NToOne;
+  return CollectiveKind::NotACollective;
+}
+
+}  // namespace metascope::analysis

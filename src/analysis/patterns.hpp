@@ -1,0 +1,98 @@
+// The pattern (metric) hierarchy searched for by the analyzers.
+//
+// Base wait-state patterns follow KOJAK (paper §3, [18]); every one has a
+// "grid" specialization that fires when the communication crosses
+// metahost boundaries (paper §4 "Metacomputing patterns", Figure 4). The
+// grid versions are children of their base pattern, mirroring the
+// non-grid hierarchy exactly as the paper's browser arranges them.
+//
+//   Time
+//   └─ MPI
+//      ├─ Communication
+//      │  ├─ Point-to-point            (p2p op time that is not waiting)
+//      │  │  ├─ Late Sender            ├─ Grid Late Sender
+//      │  │  └─ Late Receiver          └─ Grid Late Receiver
+//      │  └─ Collective                (collective comm time not waiting)
+//      │     ├─ Early Reduce           ├─ Grid Early Reduce
+//      │     ├─ Late Broadcast         ├─ Grid Late Broadcast
+//      │     └─ Wait at N x N          └─ Grid Wait at N x N
+//      └─ Synchronization              (barrier time that is not waiting)
+//         └─ Wait at Barrier           └─ Grid Wait at Barrier
+//
+// Severities are exclusive: a wait counted in a grid child is not also in
+// the base pattern; the base pattern's inclusive total covers both.
+#pragma once
+
+#include <string>
+
+#include "report/cube.hpp"
+
+namespace metascope::analysis {
+
+struct PatternSet {
+  MetricId time;
+  MetricId mpi;
+  MetricId communication;
+  MetricId p2p;
+  MetricId late_sender;
+  MetricId grid_late_sender;
+  MetricId late_receiver;
+  MetricId grid_late_receiver;
+  MetricId collective;
+  MetricId early_reduce;
+  MetricId grid_early_reduce;
+  MetricId late_broadcast;
+  MetricId grid_late_broadcast;
+  MetricId wait_nxn;
+  MetricId grid_wait_nxn;
+  MetricId synchronization;
+  MetricId wait_barrier;
+  MetricId grid_wait_barrier;
+
+  /// Installs the full hierarchy into an empty metric tree.
+  static PatternSet install(report::MetricTree& tree);
+
+  /// Base pattern or its grid child, by whether the wait crossed
+  /// metahosts.
+  [[nodiscard]] MetricId late_sender_of(bool grid) const {
+    return grid ? grid_late_sender : late_sender;
+  }
+  [[nodiscard]] MetricId late_receiver_of(bool grid) const {
+    return grid ? grid_late_receiver : late_receiver;
+  }
+  [[nodiscard]] MetricId early_reduce_of(bool grid) const {
+    return grid ? grid_early_reduce : early_reduce;
+  }
+  [[nodiscard]] MetricId late_broadcast_of(bool grid) const {
+    return grid ? grid_late_broadcast : late_broadcast;
+  }
+  [[nodiscard]] MetricId wait_nxn_of(bool grid) const {
+    return grid ? grid_wait_nxn : wait_nxn;
+  }
+  [[nodiscard]] MetricId wait_barrier_of(bool grid) const {
+    return grid ? grid_wait_barrier : wait_barrier;
+  }
+};
+
+/// Where a region's exclusive time belongs in the metric tree.
+enum class RegionCategory {
+  User,             ///< -> Time (root) exclusive
+  PointToPoint,     ///< MPI p2p calls
+  Collective,       ///< MPI collective communication
+  Synchronization,  ///< MPI_Barrier
+};
+
+RegionCategory classify_region(const std::string& name);
+
+/// Collective pattern family by MPI region name.
+enum class CollectiveKind {
+  NxN,        ///< Allreduce / Allgather / Alltoall
+  Barrier,    ///< Barrier
+  OneToN,     ///< Bcast / Scatter (Late Broadcast family)
+  NToOne,     ///< Reduce / Gather (Early Reduce family)
+  NotACollective,
+};
+
+CollectiveKind collective_kind(const std::string& name);
+
+}  // namespace metascope::analysis

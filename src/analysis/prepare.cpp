@@ -1,0 +1,106 @@
+#include "analysis/prepare.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope::analysis {
+
+using tracing::Event;
+using tracing::EventType;
+
+PreparedTrace prepare(const tracing::TraceCollection& tc) {
+  PreparedTrace out;
+  out.tc = &tc;
+  out.per_rank.resize(static_cast<std::size_t>(tc.num_ranks()));
+  out.excl_time.resize(static_cast<std::size_t>(tc.num_ranks()));
+  out.rank_span.resize(static_cast<std::size_t>(tc.num_ranks()), 0.0);
+
+  for (const auto& trace : tc.ranks) {
+    const auto ri = static_cast<std::size_t>(trace.rank);
+    auto& ann = out.per_rank[ri];
+    const std::size_t n = trace.events.size();
+    ann.cnode.assign(n, CallPathId{});
+    ann.op_enter.assign(n, 0.0);
+    ann.op_exit.assign(n, 0.0);
+
+    struct Frame {
+      CallPathId cnode;
+      double enter_time;
+      double child_time;
+      std::uint32_t first_event;  ///< first event index inside this frame
+    };
+    std::vector<Frame> stack;
+    std::vector<bool> op_filled(n, false);
+    // Per-cnode exclusive accumulation for this rank.
+    std::map<int, double> excl;
+
+    auto fail = [&](std::uint32_t i, const char* what) {
+      std::ostringstream os;
+      os << "malformed trace: rank " << trace.rank << " event " << i << ": "
+         << what;
+      throw Error(os.str());
+    };
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Event& e = trace.events[i];
+      switch (e.type) {
+        case EventType::Enter: {
+          const CallPathId parent =
+              stack.empty() ? CallPathId{} : stack.back().cnode;
+          const CallPathId c = out.calls.get_or_add(parent, e.region);
+          stack.push_back(Frame{c, e.time, 0.0, i + 1});
+          ann.cnode[i] = c;
+          break;
+        }
+        case EventType::Exit:
+        case EventType::CollExit: {
+          if (stack.empty()) fail(i, "Exit without Enter");
+          Frame f = stack.back();
+          stack.pop_back();
+          ann.cnode[i] = f.cnode;
+          const double dur = e.time - f.enter_time;
+          if (dur < 0.0) fail(i, "negative region duration");
+          excl[f.cnode.get()] += dur - f.child_time;
+          if (!stack.empty()) stack.back().child_time += dur;
+          // Backfill enclosing-op times for the events inside this frame
+          // (Send/Recv live directly inside their MPI call frame).
+          for (std::uint32_t k = f.first_event; k < i; ++k) {
+            if ((trace.events[k].type == EventType::Send ||
+                 trace.events[k].type == EventType::Recv) &&
+                !op_filled[k]) {
+              ann.op_enter[k] = f.enter_time;
+              ann.op_exit[k] = e.time;
+              op_filled[k] = true;
+            }
+          }
+          if (e.type == EventType::CollExit) {
+            ann.op_enter[i] = f.enter_time;
+            ann.op_exit[i] = e.time;
+          }
+          break;
+        }
+        case EventType::Send:
+        case EventType::Recv: {
+          if (stack.empty()) fail(i, "message event outside any region");
+          ann.cnode[i] = stack.back().cnode;
+          break;
+        }
+      }
+    }
+    if (!stack.empty()) fail(static_cast<std::uint32_t>(n), "unclosed region");
+
+    auto& et = out.excl_time[ri];
+    et.reserve(excl.size());
+    for (const auto& [cnode, seconds] : excl)
+      et.push_back(ExclusiveTime{CallPathId{cnode}, seconds});
+
+    if (!trace.events.empty())
+      out.rank_span[ri] =
+          trace.events.back().time - trace.events.front().time;
+  }
+  return out;
+}
+
+}  // namespace metascope::analysis

@@ -1,0 +1,48 @@
+// Pre-analysis pass ("definition unification"): builds the global call
+// tree, annotates every event with its call path and enclosing-operation
+// times, and accumulates per-call-path exclusive times. Runs serially in
+// both analyzers so that call-path ids — and therefore cubes — are
+// bit-identical between the serial and the parallel analysis.
+#pragma once
+
+#include <vector>
+
+#include "report/cube.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::analysis {
+
+/// Per-event annotations for one rank, index-aligned with the trace's
+/// event vector.
+struct EventAnnotations {
+  /// Call path the event belongs to (for Enter: the entered path).
+  std::vector<CallPathId> cnode;
+  /// For Send/Recv/CollExit events: timestamp of the enclosing MPI call's
+  /// Enter. Zero for other events.
+  std::vector<double> op_enter;
+  /// For Send/Recv/CollExit events: timestamp of the enclosing MPI call's
+  /// Exit (== CollExit time for collectives).
+  std::vector<double> op_exit;
+};
+
+/// One (call path, seconds) exclusive-time contribution.
+struct ExclusiveTime {
+  CallPathId cnode;
+  double seconds{0.0};
+};
+
+struct PreparedTrace {
+  const tracing::TraceCollection* tc{nullptr};
+  report::CallTree calls;
+  std::vector<EventAnnotations> per_rank;
+  /// Exclusive time per call path, per rank (summed over occurrences).
+  std::vector<std::vector<ExclusiveTime>> excl_time;
+  /// Per-rank span (last event time - first event time).
+  std::vector<double> rank_span;
+};
+
+/// Annotates all ranks. Throws Error on malformed traces (unbalanced
+/// Enter/Exit, events outside any region).
+PreparedTrace prepare(const tracing::TraceCollection& tc);
+
+}  // namespace metascope::analysis

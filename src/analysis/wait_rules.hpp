@@ -1,0 +1,89 @@
+// The wait-state formulas shared verbatim by the serial and the parallel
+// analyzer — both must produce bit-identical severities.
+//
+// Waits are always clamped into the waiting operation's own duration, so
+// severity never exceeds measured time even under residual clock error.
+#pragma once
+
+#include <vector>
+
+#include "analysis/patterns.hpp"
+#include "report/cube.hpp"
+#include "tracing/defs.hpp"
+
+namespace metascope::analysis {
+
+/// One detected wait: `metric` gains `seconds` at (cnode, rank) and the
+/// owning category metric loses the same amount (severity stays a
+/// partition of total time).
+struct WaitHit {
+  MetricId metric;
+  MetricId category;
+  CallPathId cnode;
+  Rank rank{kNoRank};
+  double seconds{0.0};
+  /// Metahosts for the grid breakdown (waiter first).
+  MetahostId waiter_mh;
+  MetahostId peer_mh;
+};
+
+/// Applies a hit to the cube (pattern +, category -, pair breakdown).
+void apply_hit(report::Cube& cube, const WaitHit& hit);
+
+/// What each side of a point-to-point transfer knows about itself.
+struct P2pSide {
+  Rank rank{kNoRank};
+  double op_enter{0.0};
+  double op_exit{0.0};
+  CallPathId cnode;
+  /// Region of the MPI call the event sits in (MPI_Send / MPI_Sendrecv /
+  /// MPI_Recv / MPI_Wait / ...). Late Receiver only applies to plain
+  /// blocking sends.
+  RegionId region;
+};
+
+/// Late Sender: receiver blocked because the send started later.
+/// Returns seconds (0 if no wait).
+double late_sender_wait(const P2pSide& send, const P2pSide& recv);
+
+/// Late Receiver: a *blocking standard send* (region MPI_Send) still
+/// inside the call when the receive was posted — the rendezvous
+/// handshake made the sender wait. Two guards keep it honest:
+///  - region must be MPI_Send (an MPI_Sendrecv's late exit is its own
+///    receive half, already covered by Late Sender; an MPI_Isend never
+///    blocks);
+///  - the receive must have been posted before the send op ended (an
+///    eager send that completed long before the receive was posted did
+///    not wait for it).
+double late_receiver_wait(const NameTable<RegionId>& regions,
+                          const P2pSide& send, const P2pSide& recv);
+
+/// Emits Late Sender / Late Receiver hits (with grid specialization) for
+/// one matched message.
+void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
+              const P2pSide& send, const P2pSide& recv,
+              std::vector<WaitHit>& out);
+
+/// One member of a collective instance.
+struct CollMember {
+  Rank rank{kNoRank};
+  double enter{0.0};
+  double exit{0.0};
+  CallPathId cnode;
+};
+
+/// Emits hits for one completed collective instance. `root` is the
+/// global root rank (kNoRank for rootless); `kind` from collective_kind().
+/// The grid flag is decided from the communicator's full member list
+/// (paper: "the entire communicator is searched for processes differing
+/// in their machine location component").
+void collective_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
+                     CollectiveKind kind, const std::vector<Rank>& comm_members,
+                     const std::vector<CollMember>& members, Rank root,
+                     std::vector<WaitHit>& out);
+
+/// True if the communicator spans more than one metahost.
+bool comm_spans_metahosts(const tracing::TraceDefs& defs,
+                          const std::vector<Rank>& comm_members);
+
+}  // namespace metascope::analysis

@@ -1,0 +1,264 @@
+#include "archive/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "tracing/epilog_io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace metascope::archive {
+
+// --- FileSystemLayout ----------------------------------------------------
+
+FileSystemLayout FileSystemLayout::shared(const std::string& root,
+                                          int num_metahosts) {
+  MSC_CHECK(num_metahosts > 0, "layout needs metahosts");
+  FileSystemLayout l;
+  l.roots_.assign(static_cast<std::size_t>(num_metahosts), root);
+  return l;
+}
+
+FileSystemLayout FileSystemLayout::per_metahost(const std::string& base,
+                                                int num_metahosts) {
+  MSC_CHECK(num_metahosts > 0, "layout needs metahosts");
+  FileSystemLayout l;
+  for (int m = 0; m < num_metahosts; ++m)
+    l.roots_.push_back(base + "/fs" + std::to_string(m));
+  return l;
+}
+
+FileSystemLayout FileSystemLayout::custom(std::vector<std::string> roots) {
+  MSC_CHECK(!roots.empty(), "layout needs metahosts");
+  FileSystemLayout l;
+  l.roots_ = std::move(roots);
+  return l;
+}
+
+const std::string& FileSystemLayout::root_of(MetahostId m) const {
+  MSC_CHECK(m.valid() && static_cast<std::size_t>(m.get()) < roots_.size(),
+            "metahost out of layout range");
+  return roots_[static_cast<std::size_t>(m.get())];
+}
+
+bool FileSystemLayout::same_fs(MetahostId a, MetahostId b) const {
+  return root_of(a) == root_of(b);
+}
+
+// --- ExperimentArchive ---------------------------------------------------
+
+namespace {
+
+int log2_ceil(int n) {
+  int r = 0;
+  int s = 1;
+  while (s < n) {
+    s *= 2;
+    ++r;
+  }
+  return std::max(r, 1);
+}
+
+std::string archive_dir_name(const std::string& experiment) {
+  return experiment + ".msc";
+}
+
+/// Attempts mkdir; true if the directory exists afterwards and either we
+/// created it or it was already there from this experiment.
+bool try_create(const std::string& path, CreationStats* stats) {
+  if (stats) ++stats->create_attempts;
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  const bool created = fs::create_directory(path, ec);
+  if (created && stats) ++stats->directories_created;
+  return created || fs::exists(path);
+}
+
+bool is_visible(const std::string& path, CreationStats* stats) {
+  if (stats) ++stats->visibility_checks;
+  return fs::exists(path);
+}
+
+}  // namespace
+
+ExperimentArchive ExperimentArchive::create(const simnet::Topology& topo,
+                                            const FileSystemLayout& layout,
+                                            const std::string& experiment_name,
+                                            CreationStats* stats) {
+  MSC_CHECK(layout.num_metahosts() == topo.num_metahosts(),
+            "layout/topology metahost mismatch");
+  CreationStats local_stats;
+  CreationStats* st = stats ? stats : &local_stats;
+
+  ExperimentArchive a;
+  a.name_ = experiment_name;
+  a.dir_by_metahost_.resize(
+      static_cast<std::size_t>(topo.num_metahosts()));
+  a.ranks_by_metahost_.resize(
+      static_cast<std::size_t>(topo.num_metahosts()));
+  for (Rank r = 0; r < topo.num_ranks(); ++r)
+    a.ranks_by_metahost_[static_cast<std::size_t>(
+                             topo.metahost_of(r).get())]
+        .push_back(r);
+
+  const std::string dname = archive_dir_name(experiment_name);
+
+  // Step 1: rank 0 creates the archive on its own file system and
+  // broadcasts the outcome (one broadcast, log2(p) messages).
+  const MetahostId mh0 = topo.metahost_of(0);
+  const std::string dir0 = layout.root_of(mh0) + "/" + dname;
+  const bool ok0 = try_create(dir0, st);
+  ++st->broadcasts;
+  if (!ok0) {
+    st->aborted = true;
+    throw Error("archive creation failed on rank 0: " + dir0);
+  }
+
+  // Step 2: each local master checks visibility on its file system and
+  // creates a partial archive if it cannot see one.
+  for (int m = 0; m < topo.num_metahosts(); ++m) {
+    const MetahostId mh{m};
+    const std::string dir = layout.root_of(mh) + "/" + dname;
+    if (!is_visible(dir, st)) {
+      if (!try_create(dir, st)) {
+        st->aborted = true;
+        throw Error("partial archive creation failed: " + dir);
+      }
+    }
+    a.dir_by_metahost_[static_cast<std::size_t>(m)] = dir;
+  }
+
+  // Step 3: every process verifies visibility; one all-reduce combines
+  // the results.
+  bool all_visible = true;
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    const std::string& dir =
+        a.dir_by_metahost_[static_cast<std::size_t>(
+            topo.metahost_of(r).get())];
+    all_visible = is_visible(dir, st) && all_visible;
+  }
+  ++st->allreduces;
+  if (!all_visible) {
+    st->aborted = true;
+    throw Error("archive invisible to at least one process; aborting");
+  }
+  (void)log2_ceil(topo.num_ranks());
+  return a;
+}
+
+ExperimentArchive ExperimentArchive::create_naive(
+    const simnet::Topology& topo, const FileSystemLayout& layout,
+    const std::string& experiment_name, CreationStats* stats) {
+  MSC_CHECK(layout.num_metahosts() == topo.num_metahosts(),
+            "layout/topology metahost mismatch");
+  CreationStats local_stats;
+  CreationStats* st = stats ? stats : &local_stats;
+
+  ExperimentArchive a;
+  a.name_ = experiment_name;
+  a.dir_by_metahost_.resize(static_cast<std::size_t>(topo.num_metahosts()));
+  a.ranks_by_metahost_.resize(
+      static_cast<std::size_t>(topo.num_metahosts()));
+  const std::string dname = archive_dir_name(experiment_name);
+
+  // Every process hammers mkdir on its own file system — correct result,
+  // O(P) redundant metadata operations (the contention the hierarchical
+  // protocol avoids).
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    const MetahostId mh = topo.metahost_of(r);
+    const std::string dir = layout.root_of(mh) + "/" + dname;
+    if (!try_create(dir, st)) {
+      st->aborted = true;
+      throw Error("archive creation failed: " + dir);
+    }
+    a.dir_by_metahost_[static_cast<std::size_t>(mh.get())] = dir;
+    a.ranks_by_metahost_[static_cast<std::size_t>(mh.get())].push_back(r);
+  }
+  return a;
+}
+
+const std::string& ExperimentArchive::dir_of(MetahostId m) const {
+  MSC_CHECK(m.valid() && static_cast<std::size_t>(m.get()) <
+                             dir_by_metahost_.size(),
+            "metahost out of range");
+  const std::string& d = dir_by_metahost_[static_cast<std::size_t>(m.get())];
+  MSC_CHECK(!d.empty(), "metahost has no archive directory");
+  return d;
+}
+
+std::vector<std::string> ExperimentArchive::partial_dirs() const {
+  std::vector<std::string> out;
+  for (const auto& d : dir_by_metahost_)
+    if (!d.empty() && std::find(out.begin(), out.end(), d) == out.end())
+      out.push_back(d);
+  return out;
+}
+
+void ExperimentArchive::write_traces(
+    const simnet::Topology& topo, const tracing::TraceCollection& tc) const {
+  MSC_CHECK(tc.num_ranks() == topo.num_ranks(),
+            "collection/topology rank mismatch");
+  // Definitions + manifest go into every partial archive; each rank's
+  // trace goes only where that rank can write.
+  const auto defs_bytes = tracing::encode_defs(tc);
+  for (const std::string& dir : partial_dirs())
+    write_file_bytes(dir + "/" + tracing::defs_filename(), defs_bytes);
+
+  for (const auto& t : tc.ranks) {
+    const std::string& dir = dir_of(topo.metahost_of(t.rank));
+    write_file_bytes(dir + "/" + tracing::trace_filename(t.rank),
+                     tracing::encode_local_trace(t));
+  }
+
+  for (int m = 0; m < topo.num_metahosts(); ++m) {
+    const MetahostId mh{m};
+    Json manifest;
+    manifest.set("experiment", name_);
+    manifest.set("format_version",
+                 static_cast<int>(tracing::kTraceFormatVersion));
+    manifest.set("metahost_id", m);
+    Json ranks;
+    for (Rank r :
+         ranks_by_metahost_[static_cast<std::size_t>(m)])
+      ranks.push_back(r);
+    if (ranks.is_null()) ranks = Json(Json::Array{});
+    manifest.set("ranks", ranks);
+    save_json_file(dir_of(mh) + "/manifest." + std::to_string(m) + ".json",
+                   manifest);
+  }
+}
+
+tracing::TraceCollection ExperimentArchive::read_traces() const {
+  MSC_CHECK(!dir_by_metahost_.empty(), "empty archive");
+  tracing::TraceCollection tc = tracing::decode_defs(
+      read_file_bytes(dir_by_metahost_.front() + "/" +
+                      tracing::defs_filename()));
+  for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m) {
+    for (Rank r : ranks_by_metahost_[m]) {
+      tc.ranks[static_cast<std::size_t>(r)] = tracing::decode_local_trace(
+          read_file_bytes(dir_by_metahost_[m] + "/" +
+                          tracing::trace_filename(r)));
+      MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
+                "trace file rank mismatch");
+    }
+  }
+  return tc;
+}
+
+tracing::LocalTrace ExperimentArchive::read_local_trace(
+    const simnet::Topology& topo, Rank r) const {
+  const std::string& dir = dir_of(topo.metahost_of(r));
+  return tracing::decode_local_trace(
+      read_file_bytes(dir + "/" + tracing::trace_filename(r)));
+}
+
+tracing::TraceCollection ExperimentArchive::read_defs(MetahostId m) const {
+  return tracing::decode_defs(
+      read_file_bytes(dir_of(m) + "/" + tracing::defs_filename()));
+}
+
+}  // namespace metascope::archive

@@ -1,0 +1,117 @@
+// Runtime trace-archive management (paper §4 "Runtime archive
+// management").
+//
+// All files of one experiment live in an archive directory. On a
+// metacomputer there may be no file system shared by all metahosts, so
+// the archive becomes a set of *partial archives*, one per file system,
+// created by the paper's hierarchical protocol:
+//
+//   1. rank 0 attempts to create the archive directory and broadcasts
+//      the outcome; everyone aborts if that failed;
+//   2. each metahost's local master checks whether it can see an archive
+//      directory and creates a partial one on its own file system if not;
+//   3. every process verifies it can see an archive; the results are
+//      combined with an all-reduce; any failure aborts the measurement.
+//
+// The per-metahost file systems are modelled by FileSystemLayout: each
+// metahost is assigned a root directory ("its file system"); metahosts
+// sharing a root share a file system. Directory operations are real
+// (std::filesystem), so the protocol is exercised end to end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simnet/topology.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::archive {
+
+/// Which file-system root each metahost mounts.
+class FileSystemLayout {
+ public:
+  /// One shared root visible from every metahost (classic cluster).
+  static FileSystemLayout shared(const std::string& root, int num_metahosts);
+
+  /// A distinct root per metahost (no shared file system — the
+  /// metacomputing case).
+  static FileSystemLayout per_metahost(const std::string& base,
+                                       int num_metahosts);
+
+  /// Custom mapping (e.g. two metahosts share one NFS root, a third does
+  /// not).
+  static FileSystemLayout custom(std::vector<std::string> roots);
+
+  [[nodiscard]] const std::string& root_of(MetahostId m) const;
+  [[nodiscard]] int num_metahosts() const {
+    return static_cast<int>(roots_.size());
+  }
+  /// True if the two metahosts mount the same file system.
+  [[nodiscard]] bool same_fs(MetahostId a, MetahostId b) const;
+
+ private:
+  std::vector<std::string> roots_;
+};
+
+/// Counters exposing the protocol's behaviour (ablation A2 compares them
+/// against naive per-process creation).
+struct CreationStats {
+  int create_attempts{0};
+  int directories_created{0};
+  int visibility_checks{0};
+  int broadcasts{0};
+  int allreduces{0};
+  bool aborted{false};
+};
+
+/// An experiment's archive: the set of partial archive directories.
+class ExperimentArchive {
+ public:
+  /// Runs the hierarchical creation protocol. Throws Error (with
+  /// stats->aborted set) if any process ends up without a visible
+  /// archive.
+  static ExperimentArchive create(const simnet::Topology& topo,
+                                  const FileSystemLayout& layout,
+                                  const std::string& experiment_name,
+                                  CreationStats* stats = nullptr);
+
+  /// Naive baseline: every process blindly attempts creation on its own
+  /// file system (counts the redundant attempts the protocol avoids).
+  static ExperimentArchive create_naive(const simnet::Topology& topo,
+                                        const FileSystemLayout& layout,
+                                        const std::string& experiment_name,
+                                        CreationStats* stats = nullptr);
+
+  [[nodiscard]] const std::string& experiment_name() const { return name_; }
+  /// Partial-archive directory visible from the given metahost.
+  [[nodiscard]] const std::string& dir_of(MetahostId m) const;
+  /// All distinct partial-archive directories.
+  [[nodiscard]] std::vector<std::string> partial_dirs() const;
+
+  /// Writes each rank's local trace into the partial archive of its
+  /// metahost, plus the shared definitions and a manifest into every
+  /// partial archive.
+  void write_traces(const simnet::Topology& topo,
+                    const tracing::TraceCollection& tc) const;
+
+  /// Re-assembles the full collection from all partial archives (what a
+  /// post-mortem analysis with access to all file systems would do; the
+  /// parallel analyzer instead reads only local files — see analysis/).
+  [[nodiscard]] tracing::TraceCollection read_traces() const;
+
+  /// Loads one rank's trace from the partial archive of its metahost —
+  /// the parallel analyzer's access pattern (local data only).
+  [[nodiscard]] tracing::LocalTrace read_local_trace(
+      const simnet::Topology& topo, Rank r) const;
+  /// Loads the shared definitions from the partial archive visible to
+  /// the given metahost.
+  [[nodiscard]] tracing::TraceCollection read_defs(MetahostId m) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> dir_by_metahost_;  ///< indexed by metahost id
+  std::vector<std::vector<Rank>> ranks_by_metahost_;
+};
+
+}  // namespace metascope::archive

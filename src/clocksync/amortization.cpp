@@ -1,0 +1,92 @@
+#include "clocksync/amortization.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "tracing/matching.hpp"
+
+namespace metascope::clocksync {
+
+namespace {
+
+/// One pass: computes required receive times from the current matching
+/// and forward-amortizes each rank's stream. Returns repairs made.
+std::size_t repair_pass(tracing::TraceCollection& tc,
+                        const AmortizationConfig& cfg, double& max_shift) {
+  const auto pairs = tracing::match_messages(tc);
+  // required[rank] maps event index -> minimum allowed timestamp.
+  std::vector<std::unordered_map<std::uint32_t, double>> required(
+      static_cast<std::size_t>(tc.num_ranks()));
+  for (const auto& p : pairs) {
+    const double send_time =
+        tc.ranks[static_cast<std::size_t>(p.send.rank)]
+            .events[p.send.index]
+            .time;
+    required[static_cast<std::size_t>(p.recv.rank)][p.recv.index] =
+        send_time + cfg.min_message_gap;
+  }
+
+  std::size_t repaired = 0;
+  for (auto& trace : tc.ranks) {
+    const auto& req = required[static_cast<std::size_t>(trace.rank)];
+    double shift = 0.0;      // magnitude of the active amortization
+    double anchor = 0.0;     // original time where it was introduced
+    double window = cfg.decay_window;
+    for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+      auto& e = trace.events[i];
+      const double original = e.time;
+      double active = 0.0;
+      if (shift > 0.0) {
+        active = shift * std::max(0.0, 1.0 - (original - anchor) / window);
+      }
+      auto it = req.find(i);
+      if (it != req.end() && original + active < it->second) {
+        active = it->second - original;
+        shift = active;
+        anchor = original;
+        // Keep the time mapping monotone: the decay slope must stay
+        // above -1, so widen the window for large shifts.
+        window = std::max(cfg.decay_window, 2.0 * shift);
+        ++repaired;
+        max_shift = std::max(max_shift, active);
+      }
+      e.time = original + active;
+    }
+  }
+  return repaired;
+}
+
+}  // namespace
+
+AmortizationReport amortize_violations(tracing::TraceCollection& tc,
+                                       const AmortizationConfig& cfg) {
+  MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
+            "amortization runs after synchronization");
+  MSC_CHECK(cfg.min_message_gap >= 0.0, "negative message gap");
+  MSC_CHECK(cfg.decay_window > 0.0, "decay window must be positive");
+  AmortizationReport rep;
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    ++rep.passes;
+    const std::size_t repaired = repair_pass(tc, cfg, rep.max_shift);
+    rep.repaired_receives += repaired;
+    if (repaired == 0) return rep;
+  }
+  // Check whether the final pass left any violation.
+  const auto pairs = tracing::match_messages(tc);
+  for (const auto& p : pairs) {
+    const double s = tc.ranks[static_cast<std::size_t>(p.send.rank)]
+                         .events[p.send.index]
+                         .time;
+    const double r = tc.ranks[static_cast<std::size_t>(p.recv.rank)]
+                         .events[p.recv.index]
+                         .time;
+    if (r < s) {
+      rep.converged = false;
+      break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace metascope::clocksync

@@ -1,0 +1,45 @@
+// Forward amortization: repairing residual clock-condition violations
+// after linear correction (extension beyond the paper; the follow-up
+// work on controlled logical clocks made this standard in Scalasca).
+//
+// Linear interpolation cannot remove non-linear clock behaviour or
+// measurement bias, so a receive may still be stamped before its matching
+// send. The repair advances every receive to at least
+// send_time + min_latency_fraction * (observed message gap floor), then
+// re-establishes intra-process order by forward-propagating the shift
+// with an exponentially decaying amortization, so local interval lengths
+// are disturbed as little as possible.
+#pragma once
+
+#include <cstddef>
+
+#include "tracing/trace.hpp"
+
+namespace metascope::clocksync {
+
+struct AmortizationConfig {
+  /// Minimum send->receive gap enforced, seconds (a conservative lower
+  /// bound on any network latency).
+  double min_message_gap{1e-7};
+  /// Length of the window over which a shift decays back to zero.
+  double decay_window{0.01};
+  /// Repair passes (later receives can re-violate after earlier shifts;
+  /// a few passes reach a fixed point in practice).
+  int max_passes{5};
+};
+
+struct AmortizationReport {
+  std::size_t repaired_receives{0};
+  std::size_t passes{0};
+  double max_shift{0.0};
+  /// True if a pass limit was hit with violations remaining.
+  bool converged{true};
+};
+
+/// Repairs violations in place. Requires a synchronized collection.
+/// Post-condition (when converged): no matched receive precedes its send
+/// by construction, and each process's event order is preserved.
+AmortizationReport amortize_violations(tracing::TraceCollection& tc,
+                                       const AmortizationConfig& cfg = {});
+
+}  // namespace metascope::clocksync

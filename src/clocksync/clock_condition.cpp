@@ -1,0 +1,32 @@
+#include "clocksync/clock_condition.hpp"
+
+#include <algorithm>
+
+#include "tracing/matching.hpp"
+
+namespace metascope::clocksync {
+
+ViolationReport check_clock_condition(const tracing::TraceCollection& tc) {
+  ViolationReport rep;
+  const auto pairs = tracing::match_messages(tc);
+  double gap_sum = 0.0;
+  for (const auto& p : pairs) {
+    const auto& send =
+        tc.ranks[static_cast<std::size_t>(p.send.rank)].events[p.send.index];
+    const auto& recv =
+        tc.ranks[static_cast<std::size_t>(p.recv.rank)].events[p.recv.index];
+    ++rep.messages;
+    const double gap = recv.time - send.time;
+    gap_sum += std::abs(gap);
+    if (gap < 0.0) {
+      ++rep.violations;
+      rep.worst_reversal = std::max(rep.worst_reversal, -gap);
+    }
+  }
+  rep.mean_gap = rep.messages
+                     ? gap_sum / static_cast<double>(rep.messages)
+                     : 0.0;
+  return rep;
+}
+
+}  // namespace metascope::clocksync

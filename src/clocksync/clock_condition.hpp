@@ -1,0 +1,36 @@
+// Clock-condition checking (paper §5, Table 2).
+//
+// The clock condition is the causal order of communication: a message's
+// receive event must not precede its send event in the (corrected) global
+// time domain. The parallel analyzer was extended to report violations of
+// this condition; the counts over the short-message benchmark are the
+// paper's Table 2.
+#pragma once
+
+#include <cstddef>
+
+#include "tracing/trace.hpp"
+
+namespace metascope::clocksync {
+
+struct ViolationReport {
+  std::size_t messages{0};
+  std::size_t violations{0};
+  /// Largest observed reversal (send_time - recv_time), seconds.
+  double worst_reversal{0.0};
+  /// Mean |recv - send| over all messages (diagnostic).
+  double mean_gap{0.0};
+
+  [[nodiscard]] double violation_rate() const {
+    return messages ? static_cast<double>(violations) /
+                          static_cast<double>(messages)
+                    : 0.0;
+  }
+};
+
+/// Counts messages whose receive timestamp precedes the matching send
+/// timestamp. Usually run on a synchronized collection, but works on any
+/// clock domain (e.g. to show raw unsynchronized traces violate heavily).
+ViolationReport check_clock_condition(const tracing::TraceCollection& tc);
+
+}  // namespace metascope::clocksync

@@ -1,0 +1,126 @@
+#include "clocksync/correction.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope::clocksync {
+
+namespace {
+
+using tracing::OffsetRecord;
+using tracing::SyncScheme;
+using tracing::TraceCollection;
+
+/// Finds the record of the given phase; throws if absent.
+const OffsetRecord& record_of_phase(const tracing::LocalTrace& t, int phase) {
+  for (const auto& r : t.sync)
+    if (r.phase == phase) return r;
+  std::ostringstream os;
+  os << "rank " << t.rank << " lacks phase-" << phase << " offset record";
+  throw Error(os.str());
+}
+
+/// Correction mapping this process's clock onto its reference process's
+/// clock from one offset record (shift only).
+LinearCorrection from_single(const OffsetRecord& rec) {
+  return {rec.offset, 1.0};
+}
+
+/// Correction from two offset records by linear interpolation:
+/// offset(t) = o_b + (o_e - o_b) * (t - t_b) / (t_e - t_b);
+/// corrected(t) = t + offset(t).
+LinearCorrection from_two(const OffsetRecord& begin,
+                          const OffsetRecord& end) {
+  const double span = end.local_mid - begin.local_mid;
+  MSC_CHECK(span > 1e-9, "offset measurements too close for interpolation");
+  const double rate = (end.offset - begin.offset) / span;
+  return {begin.offset - rate * begin.local_mid, 1.0 + rate};
+}
+
+}  // namespace
+
+std::vector<LinearCorrection> build_corrections(const TraceCollection& tc) {
+  const int n = tc.num_ranks();
+  std::vector<LinearCorrection> out(static_cast<std::size_t>(n));
+  switch (tc.scheme) {
+    case SyncScheme::None:
+      return out;
+    case SyncScheme::FlatSingle: {
+      for (int r = 1; r < n; ++r) {
+        const auto& t = tc.ranks[static_cast<std::size_t>(r)];
+        const auto& rec = record_of_phase(t, 0);
+        MSC_CHECK(rec.ref_rank == 0, "flat record must reference rank 0");
+        out[static_cast<std::size_t>(r)] = from_single(rec);
+      }
+      return out;
+    }
+    case SyncScheme::FlatTwo: {
+      for (int r = 1; r < n; ++r) {
+        const auto& t = tc.ranks[static_cast<std::size_t>(r)];
+        const auto& rb = record_of_phase(t, 0);
+        const auto& re = record_of_phase(t, 1);
+        MSC_CHECK(rb.ref_rank == 0 && re.ref_rank == 0,
+                  "flat record must reference rank 0");
+        out[static_cast<std::size_t>(r)] = from_two(rb, re);
+      }
+      return out;
+    }
+    case SyncScheme::HierarchicalTwo: {
+      // Every non-metamaster rank has records against exactly one
+      // reference; chase the reference chain (slave -> local master ->
+      // metamaster) composing interpolations. Chains are at most two
+      // deep, but the resolver is generic with cycle detection.
+      std::vector<int> state(static_cast<std::size_t>(n), 0);  // 0/1/2
+      // Recursive lambda via explicit stack-free recursion.
+      const std::function<const LinearCorrection&(Rank)> resolve =
+          [&](Rank r) -> const LinearCorrection& {
+        auto& slot = out[static_cast<std::size_t>(r)];
+        auto& st = state[static_cast<std::size_t>(r)];
+        if (st == 2) return slot;
+        MSC_CHECK(st != 1, "cycle in offset-record references");
+        st = 1;
+        const auto& t = tc.ranks[static_cast<std::size_t>(r)];
+        if (t.sync.empty()) {
+          // The metamaster: defines the global domain.
+          slot = LinearCorrection::identity();
+          st = 2;
+          return slot;
+        }
+        const auto& rb = record_of_phase(t, 0);
+        const auto& re = record_of_phase(t, 1);
+        MSC_CHECK(rb.ref_rank == re.ref_rank,
+                  "phase records reference different masters");
+        const LinearCorrection to_ref = from_two(rb, re);
+        slot = LinearCorrection::compose(resolve(rb.ref_rank), to_ref);
+        st = 2;
+        return slot;
+      };
+      for (Rank r = 0; r < n; ++r) resolve(r);
+      return out;
+    }
+  }
+  return out;
+}
+
+void apply_corrections(tracing::TraceCollection& tc,
+                       const std::vector<LinearCorrection>& corrections) {
+  MSC_CHECK(corrections.size() == static_cast<std::size_t>(tc.num_ranks()),
+            "one correction per rank required");
+  MSC_CHECK(!tc.synchronized, "collection already synchronized");
+  for (auto& t : tc.ranks) {
+    const auto& c = corrections[static_cast<std::size_t>(t.rank)];
+    for (auto& e : t.events) e.time = c.apply(e.time);
+  }
+  tc.synchronized = true;
+}
+
+std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc) {
+  auto c = build_corrections(tc);
+  apply_corrections(tc, c);
+  return c;
+}
+
+}  // namespace metascope::clocksync

@@ -1,0 +1,47 @@
+#include "clocksync/error_analysis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace metascope::clocksync {
+
+double corrected_stamp(const simnet::Topology& topo,
+                       const simnet::ClockSet& clocks,
+                       const std::vector<LinearCorrection>& corrections,
+                       Rank r, TrueTime t) {
+  MSC_CHECK(corrections.size() == static_cast<std::size_t>(topo.num_ranks()),
+            "one correction per rank required");
+  const double local = clocks.clock_of(topo, r).at(t).s;
+  return corrections[static_cast<std::size_t>(r)].apply(local);
+}
+
+double pairwise_error(const simnet::Topology& topo,
+                      const simnet::ClockSet& clocks,
+                      const std::vector<LinearCorrection>& corrections,
+                      Rank a, Rank b, TrueTime t) {
+  return corrected_stamp(topo, clocks, corrections, a, t) -
+         corrected_stamp(topo, clocks, corrections, b, t);
+}
+
+ErrorSurvey survey_errors(const simnet::Topology& topo,
+                          const simnet::ClockSet& clocks,
+                          const std::vector<LinearCorrection>& corrections,
+                          const std::vector<TrueTime>& instants) {
+  ErrorSurvey s;
+  for (const TrueTime t : instants) {
+    for (Rank a = 0; a < topo.num_ranks(); ++a) {
+      for (Rank b = a + 1; b < topo.num_ranks(); ++b) {
+        const double e =
+            std::abs(pairwise_error(topo, clocks, corrections, a, b, t));
+        if (topo.same_metahost(a, b))
+          s.intra_metahost_abs.add(e);
+        else
+          s.inter_metahost_abs.add(e);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace metascope::clocksync

@@ -1,0 +1,43 @@
+// Ground-truth synchronization error analysis (simulation-only luxury).
+//
+// Because the substrate knows every node's true clock model, we can ask:
+// if the same true instant T is stamped on two different ranks and both
+// stamps are corrected, how far apart do the corrected values land? That
+// pairwise error is what decides clock-condition violations — it must
+// stay below the message latency between the two ranks (paper §4). The
+// Figure-3 ablation bench sweeps this quantity for flat vs hierarchical.
+#pragma once
+
+#include <vector>
+
+#include "clocksync/correction.hpp"
+#include "common/stats.hpp"
+#include "simnet/clock.hpp"
+#include "simnet/topology.hpp"
+
+namespace metascope::clocksync {
+
+/// Corrected-global estimate of rank r's stamp of true instant t.
+double corrected_stamp(const simnet::Topology& topo,
+                       const simnet::ClockSet& clocks,
+                       const std::vector<LinearCorrection>& corrections,
+                       Rank r, TrueTime t);
+
+/// corrected_stamp(a) - corrected_stamp(b) at the same true instant.
+double pairwise_error(const simnet::Topology& topo,
+                      const simnet::ClockSet& clocks,
+                      const std::vector<LinearCorrection>& corrections,
+                      Rank a, Rank b, TrueTime t);
+
+struct ErrorSurvey {
+  RunningStats intra_metahost_abs;  ///< |pairwise error|, same metahost
+  RunningStats inter_metahost_abs;  ///< |pairwise error|, across metahosts
+};
+
+/// Surveys |pairwise error| over all rank pairs at the given instants.
+ErrorSurvey survey_errors(const simnet::Topology& topo,
+                          const simnet::ClockSet& clocks,
+                          const std::vector<LinearCorrection>& corrections,
+                          const std::vector<TrueTime>& instants);
+
+}  // namespace metascope::clocksync

@@ -1,0 +1,68 @@
+// Little binary serialization layer used by the EPILOG-like trace format.
+//
+// Encoding: fixed-width little-endian for floats, LEB128 varints for
+// integers (event streams are dominated by small ints — ranks, tags,
+// region ids — so varints cut trace size roughly in half).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metascope {
+
+class BufWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// Unsigned LEB128.
+  void put_varint(std::uint64_t v);
+  /// Zig-zag signed LEB128.
+  void put_svarint(std::int64_t v);
+  void put_f64(double v);
+  /// Varint length prefix + raw bytes.
+  void put_string(const std::string& s);
+  void put_bytes(const void* data, std::size_t n);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BufReader {
+ public:
+  BufReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BufReader(const std::vector<std::uint8_t>& buf)
+      : BufReader(buf.data(), buf.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  std::int64_t get_svarint();
+  double get_f64();
+  std::string get_string();
+
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+/// Whole-file helpers; throw Error on I/O failure.
+void write_file_bytes(const std::string& path,
+                      const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+}  // namespace metascope

@@ -1,0 +1,43 @@
+// Error handling: a single exception type plus check macros used at module
+// boundaries. Internal invariants use MSC_ASSERT which is active in all
+// build types (simulation correctness matters more than the cycle cost).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace metascope {
+
+/// Exception thrown on any MetaScope API misuse or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace metascope
+
+/// Precondition check on public API arguments; always active.
+#define MSC_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::metascope::detail::fail("check", #cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+/// Internal invariant; always active (simulations must not silently drift).
+#define MSC_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::metascope::detail::fail("assert", #cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,89 @@
+// Minimal JSON value, parser, and writer.
+//
+// Used for experiment configuration files and archive manifests. Supports
+// the full JSON grammar except surrogate-pair escapes; numbers are held as
+// doubles (adequate for configs — no 64-bit integer fidelity is required).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace metascope {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  // std::map keeps key order deterministic for round-trip tests.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}                   // NOLINT
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                 // NOLINT
+  Json(double n) : type_(Type::Number), num_(n) {}              // NOLINT
+  Json(int n) : type_(Type::Number), num_(n) {}                 // NOLINT
+  Json(std::int64_t n)                                          // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(std::size_t n)                                           // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}         // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}     // NOLINT
+  Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}   // NOLINT
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+
+  /// Typed accessors; throw Error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field access; throws if not an object / key missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Field with default when missing.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const;
+  [[nodiscard]] std::int64_t int_or(const std::string& key,
+                                    std::int64_t dflt) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& dflt) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool dflt) const;
+
+  /// Mutable object/array builders.
+  Json& set(const std::string& key, Json v);
+  Json& push_back(Json v);
+
+  /// Serialization. `indent` < 0 → compact single line.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws Error with position info.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  Type type_;
+  bool bool_{false};
+  double num_{0.0};
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Reads and parses a JSON file; throws Error on I/O or parse failure.
+Json load_json_file(const std::string& path);
+
+/// Writes `v` to `path` (pretty-printed); throws Error on I/O failure.
+void save_json_file(const std::string& path, const Json& v);
+
+}  // namespace metascope

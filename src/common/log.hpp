@@ -1,0 +1,35 @@
+// Leveled logging to stderr. Quiet by default so tests and benches stay
+// clean; experiments flip the level for progress visibility.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace metascope {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace metascope
+
+#define MSC_LOG(level, expr)                                       \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::metascope::log_level())) {              \
+      std::ostringstream msc_log_os;                               \
+      msc_log_os << expr;                                          \
+      ::metascope::detail::log_emit(level, msc_log_os.str());      \
+    }                                                              \
+  } while (0)
+
+#define MSC_DEBUG(expr) MSC_LOG(::metascope::LogLevel::Debug, expr)
+#define MSC_INFO(expr) MSC_LOG(::metascope::LogLevel::Info, expr)
+#define MSC_WARN(expr) MSC_LOG(::metascope::LogLevel::Warn, expr)
+#define MSC_ERROR(expr) MSC_LOG(::metascope::LogLevel::Error, expr)

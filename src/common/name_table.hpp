@@ -1,0 +1,52 @@
+// Interned id <-> string table used for region names, metric names, and
+// any other string-keyed definition records in traces.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace metascope {
+
+template <typename Id>
+class NameTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  Id intern(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return Id{it->second};
+    const auto id = static_cast<typename Id::rep_type>(names_.size());
+    names_.push_back(name);
+    index_.emplace(name, id);
+    return Id{id};
+  }
+
+  /// Looks up an existing name; throws if absent.
+  [[nodiscard]] Id find(const std::string& name) const {
+    auto it = index_.find(name);
+    MSC_CHECK(it != index_.end(), "unknown name: " + name);
+    return Id{it->second};
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  [[nodiscard]] const std::string& name(Id id) const {
+    MSC_CHECK(id.valid() &&
+                  static_cast<std::size_t>(id.get()) < names_.size(),
+              "name id out of range");
+    return names_[static_cast<std::size_t>(id.get())];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& all() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, typename Id::rep_type> index_;
+};
+
+}  // namespace metascope

@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace metascope {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MSC_CHECK(lo <= hi, "uniform bounds inverted");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  MSC_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * (UINT64_MAX / n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  // Box–Muller; draws two uniforms, discards the spare to keep the stream
+  // position a pure function of the number of calls.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::normal_at_least(double mean, double stddev, double lo) {
+  for (int i = 0; i < 1000; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= lo) return x;
+  }
+  return lo;  // Pathological parameters; clamp rather than loop forever.
+}
+
+double Rng::exponential(double mean) {
+  MSC_CHECK(mean > 0.0, "exponential requires positive mean");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal_with_moments(double mean, double stddev) {
+  MSC_CHECK(mean > 0.0, "lognormal requires positive mean");
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log(1.0 + cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+Rng Rng::split(std::uint64_t salt) const {
+  // Mix the current state with the salt through SplitMix64.
+  std::uint64_t x = s_[0] ^ rotl(s_[3], 13) ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(x));
+}
+
+}  // namespace metascope

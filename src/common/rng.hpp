@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in MetaScope (link jitter, clock perturbation,
+// workload randomness) draws from Rng instances seeded explicitly, so a
+// given experiment configuration always reproduces the same traces bit for
+// bit on any host. std::mt19937 and std::*_distribution are avoided because
+// their outputs are not pinned across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace metascope {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated below at `lo` (resampled); used for latencies that
+  /// must remain positive.
+  double normal_at_least(double mean, double stddev, double lo);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Log-normal such that the *resulting* distribution has the given
+  /// mean and standard deviation (moment-matched).
+  double lognormal_with_moments(double mean, double stddev);
+
+  /// Derives an independent child stream; children with different salts
+  /// are statistically independent of the parent and of each other.
+  Rng split(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace metascope

@@ -1,0 +1,146 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double quantile_of(std::vector<double> xs, double q) {
+  MSC_CHECK(!xs.empty(), "quantile of empty sample");
+  MSC_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(i);
+  return xs[i] * (1.0 - frac) + xs[i + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  MSC_CHECK(hi > lo, "histogram range inverted");
+  MSC_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  MSC_CHECK(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(int width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                      static_cast<double>(peak) * width);
+    os << bin_lo(i) << "\t" << counts_[i] << "\t";
+    for (int j = 0; j < bar; ++j) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  MSC_CHECK(xs.size() == ys.size(), "fit_line size mismatch");
+  MSC_CHECK(xs.size() >= 2, "fit_line needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  LinearFit f;
+  f.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  f.intercept = my - f.slope * mx;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss += r * r;
+  }
+  f.rms = std::sqrt(ss / n);
+  return f;
+}
+
+}  // namespace metascope

@@ -1,0 +1,79 @@
+// Streaming and batch statistics used by latency surveys (Table 1),
+// synchronization-error ablations, and benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace metascope {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Batch helpers over a sample vector.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+double quantile_of(std::vector<double> xs, double q);
+
+/// Fixed-width histogram for diagnostic output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Renders an ASCII bar chart, `width` chars for the largest bin.
+  [[nodiscard]] std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+/// Ordinary least squares fit y = a + b*x. Used by clock interpolation
+/// diagnostics and drift estimation.
+struct LinearFit {
+  double intercept{0.0};
+  double slope{0.0};
+  /// Residual RMS around the fit.
+  double rms{0.0};
+};
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+}  // namespace metascope

@@ -1,0 +1,74 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), align_(headers_.size(), Align::Right) {
+  MSC_CHECK(!headers_.empty(), "table needs at least one column");
+  align_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MSC_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t col, Align a) {
+  MSC_CHECK(col < align_.size(), "column out of range");
+  align_[col] = a;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (align_[c] == Align::Right)
+        os << std::string(pad, ' ') << row[c];
+      else
+        os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*E", precision, v);
+  return buf;
+}
+
+std::string TextTable::fixed(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f %%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace metascope

@@ -1,0 +1,38 @@
+// Plain-text table formatter used by the benchmark harnesses to print the
+// paper's tables (Table 1–3) and by the report renderer for summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace metascope {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Column alignment (default: first column left, rest right).
+  void set_align(std::size_t col, Align a);
+
+  /// Renders with a header separator and column padding.
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double like the paper's tables (e.g. "9.88E+02").
+  static std::string sci(double v, int precision = 2);
+  /// Fixed-point with the given number of decimals.
+  static std::string fixed(double v, int decimals = 2);
+  /// Percentage with one decimal, e.g. "23.1 %".
+  static std::string percent(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+}  // namespace metascope

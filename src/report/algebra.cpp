@@ -1,0 +1,101 @@
+#include "report/algebra.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace metascope::report {
+
+namespace {
+
+/// Maps every metric of `src` into `dst` (matching by name, creating
+/// missing nodes with the same parentage). Returns src-id -> dst-id.
+std::vector<MetricId> unify_metrics(Cube& dst, const Cube& src) {
+  std::vector<MetricId> map(src.metrics.size());
+  for (MetricId m : src.metrics.preorder()) {
+    const auto& d = src.metrics.def(m);
+    MetricId target;
+    if (dst.metrics.contains(d.name)) {
+      target = dst.metrics.find(d.name);
+    } else {
+      MetricId parent;
+      if (d.parent.valid())
+        parent = map[static_cast<std::size_t>(d.parent.get())];
+      target = dst.metrics.add(d.name, d.description, parent);
+    }
+    map[static_cast<std::size_t>(m.get())] = target;
+  }
+  return map;
+}
+
+/// Maps every call path of `src` into `dst` (matching by region-name
+/// path). Returns src-id -> dst-id.
+std::vector<CallPathId> unify_calls(Cube& dst, const Cube& src) {
+  std::vector<CallPathId> map(src.calls.size());
+  for (CallPathId c : src.calls.preorder()) {
+    const auto& n = src.calls.node(c);
+    const std::string region_name = src.regions.name(n.region);
+    const RegionId dst_region = dst.regions.intern(region_name);
+    CallPathId dst_parent;
+    if (n.parent.valid())
+      dst_parent = map[static_cast<std::size_t>(n.parent.get())];
+    map[static_cast<std::size_t>(c.get())] =
+        dst.calls.get_or_add(dst_parent, dst_region);
+  }
+  return map;
+}
+
+/// Skeleton with `a`'s system tree and the union of all operand trees.
+Cube make_skeleton(const std::vector<const Cube*>& cubes) {
+  MSC_CHECK(!cubes.empty(), "cube algebra needs at least one operand");
+  Cube out;
+  out.system = cubes.front()->system;
+  for (const Cube* c : cubes) {
+    MSC_CHECK(c->num_ranks() == out.num_ranks(),
+              "cube algebra operands must have the same rank count");
+    unify_metrics(out, *c);
+    unify_calls(out, *c);
+  }
+  return out;
+}
+
+void accumulate(Cube& dst, const Cube& src, double scale) {
+  const auto mmap = unify_metrics(dst, src);
+  const auto cmap = unify_calls(dst, src);
+  for (std::size_t m = 0; m < src.metrics.size(); ++m) {
+    for (std::size_t c = 0; c < src.calls.size(); ++c) {
+      for (Rank r = 0; r < src.num_ranks(); ++r) {
+        const double v = src.get(MetricId{static_cast<int>(m)},
+                                 CallPathId{static_cast<int>(c)}, r);
+        if (v != 0.0)
+          dst.add(mmap[m], cmap[c], r, scale * v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Cube cube_diff(const Cube& a, const Cube& b) {
+  Cube out = make_skeleton({&a, &b});
+  accumulate(out, a, 1.0);
+  accumulate(out, b, -1.0);
+  return out;
+}
+
+Cube cube_merge(const std::vector<const Cube*>& cubes) {
+  Cube out = make_skeleton(cubes);
+  for (const Cube* c : cubes) accumulate(out, *c, 1.0);
+  return out;
+}
+
+Cube cube_mean(const std::vector<const Cube*>& cubes) {
+  Cube out = make_skeleton(cubes);
+  const double w = 1.0 / static_cast<double>(cubes.size());
+  for (const Cube* c : cubes) accumulate(out, *c, w);
+  return out;
+}
+
+}  // namespace metascope::report

@@ -1,0 +1,27 @@
+// Cross-experiment cube algebra (Song et al. [15], the comparison
+// support the paper names as planned future work for its analyzer).
+//
+// Operands may come from different experiments — e.g. the paper's
+// three-metahost VIOLA run vs the homogeneous IBM run — so the trees need
+// not be identical. Operations first build the union structure (metrics
+// matched by name, call paths by region-name path, locations by rank) and
+// then combine severities entry-wise. diff() may produce negative values;
+// that is the point — it shows which waits grew and which shrank.
+#pragma once
+
+#include <vector>
+
+#include "report/cube.hpp"
+
+namespace metascope::report {
+
+/// a - b. The result's system tree is taken from `a`.
+Cube cube_diff(const Cube& a, const Cube& b);
+
+/// Entry-wise sum of all operands (>= 1).
+Cube cube_merge(const std::vector<const Cube*>& cubes);
+
+/// Entry-wise arithmetic mean of all operands (>= 1).
+Cube cube_mean(const std::vector<const Cube*>& cubes);
+
+}  // namespace metascope::report

@@ -1,0 +1,68 @@
+#include "report/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace metascope::report {
+
+namespace {
+
+/// Quotes a field if it contains separators (call paths contain '/',
+/// which is fine, but names could contain commas or quotes).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string cube_to_csv(const Cube& cube) {
+  std::ostringstream os;
+  os << "metric,call_path,rank,metahost,exclusive_seconds\n";
+  for (std::size_t m = 0; m < cube.metrics.size(); ++m) {
+    const MetricId mid{static_cast<int>(m)};
+    const std::string& mname = cube.metrics.def(mid).name;
+    for (std::size_t c = 0; c < cube.calls.size(); ++c) {
+      const CallPathId cid{static_cast<int>(c)};
+      std::string path;
+      for (Rank r = 0; r < cube.num_ranks(); ++r) {
+        const double v = cube.get(mid, cid, r);
+        if (v == 0.0) continue;
+        if (path.empty()) path = cube.calls.path_string(cid, cube.regions);
+        os << csv_field(mname) << ',' << csv_field(path) << ',' << r << ','
+           << csv_field(
+                  cube.system.metahost(cube.system.metahost_of(r)).name)
+           << ',' << num(v) << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string metric_summary_csv(const Cube& cube) {
+  const double total = cube.total_time();
+  std::ostringstream os;
+  os << "metric,exclusive_seconds,inclusive_seconds,percent_of_total\n";
+  for (MetricId m : cube.metrics.preorder()) {
+    const double excl = cube.metric_total(m);
+    const double incl = cube.metric_inclusive_total(m);
+    os << csv_field(cube.metrics.def(m).name) << ',' << num(excl) << ','
+       << num(incl) << ',' << num(total > 0.0 ? 100.0 * incl / total : 0.0)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace metascope::report

@@ -1,0 +1,19 @@
+// CSV export of severity cubes — the lingua franca for spreadsheets and
+// plotting scripts that do not read CUBE XML.
+#pragma once
+
+#include <string>
+
+#include "report/cube.hpp"
+
+namespace metascope::report {
+
+/// Long-format dump: one row per non-zero (metric, call path, rank)
+/// entry: metric,call_path,rank,metahost,exclusive_seconds.
+std::string cube_to_csv(const Cube& cube);
+
+/// Per-metric summary: metric,exclusive_seconds,inclusive_seconds,
+/// percent_of_total.
+std::string metric_summary_csv(const Cube& cube);
+
+}  // namespace metascope::report

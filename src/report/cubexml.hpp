@@ -1,0 +1,23 @@
+// CUBE-style XML serialization of severity cubes, plus the minimal XML
+// reader needed to load them back. Only non-zero severity entries are
+// stored, keeping files compact.
+#pragma once
+
+#include <string>
+
+#include "report/cube.hpp"
+
+namespace metascope::report {
+
+/// Serializes the cube (all trees + sparse severities) to XML.
+std::string to_cube_xml(const Cube& cube);
+
+/// Parses a document produced by to_cube_xml. Throws Error on malformed
+/// input or unsupported versions.
+Cube from_cube_xml(const std::string& xml);
+
+/// File helpers.
+void save_cube(const std::string& path, const Cube& cube);
+Cube load_cube(const std::string& path);
+
+}  // namespace metascope::report

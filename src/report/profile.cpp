@@ -1,0 +1,148 @@
+#include "report/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "tracing/matching.hpp"
+
+namespace metascope::report {
+
+using tracing::EventType;
+
+TraceProfile profile_traces(const tracing::TraceCollection& tc) {
+  TraceProfile out;
+  out.regions.resize(tc.defs.regions.size());
+  for (std::size_t i = 0; i < out.regions.size(); ++i)
+    out.regions[i].region = RegionId{static_cast<int>(i)};
+  const std::size_t nmh = tc.defs.metahosts.size();
+  out.metahost_bytes.assign(nmh, std::vector<double>(nmh, 0.0));
+  out.size_histogram.assign(48, 0);
+
+  // Region times from the enter/exit nesting of each rank.
+  for (const auto& trace : tc.ranks) {
+    struct Frame {
+      RegionId region;
+      double enter;
+      double child;
+    };
+    std::vector<Frame> stack;
+    for (const auto& e : trace.events) {
+      switch (e.type) {
+        case EventType::Enter: {
+          // The enter belongs to the entered region; visits counted here.
+          stack.push_back(Frame{e.region, e.time, 0.0});
+          auto& rp =
+              out.regions[static_cast<std::size_t>(e.region.get())];
+          ++rp.visits;
+          break;
+        }
+        case EventType::Exit:
+        case EventType::CollExit: {
+          MSC_CHECK(!stack.empty(), "profile: unbalanced trace");
+          const Frame f = stack.back();
+          stack.pop_back();
+          const double dur = e.time - f.enter;
+          auto& rp =
+              out.regions[static_cast<std::size_t>(f.region.get())];
+          rp.inclusive += dur;
+          rp.exclusive += dur - f.child;
+          if (!stack.empty()) stack.back().child += dur;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    MSC_CHECK(stack.empty(), "profile: unbalanced trace");
+    if (!trace.events.empty())
+      out.total_time +=
+          trace.events.back().time - trace.events.front().time;
+  }
+
+  // Message statistics from the matching.
+  const auto pairs = tracing::match_messages(tc);
+  for (const auto& p : pairs) {
+    const auto& send = tc.ranks[static_cast<std::size_t>(p.send.rank)]
+                           .events[p.send.index];
+    const auto& recv = tc.ranks[static_cast<std::size_t>(p.recv.rank)]
+                           .events[p.recv.index];
+    const auto& from = tc.defs.location(p.send.rank);
+    const auto& to = tc.defs.location(p.recv.rank);
+    MessageScope scope = MessageScope::InterMetahost;
+    if (from.machine == to.machine) {
+      scope = from.node == to.node ? MessageScope::IntraNode
+                                   : MessageScope::IntraMetahost;
+    }
+    auto& mp = out.messages[static_cast<int>(scope)];
+    ++mp.count;
+    mp.bytes += send.bytes;
+    mp.size.add(send.bytes);
+    mp.transfer_gap.add(recv.time - send.time);
+    out.metahost_bytes[static_cast<std::size_t>(from.machine.get())]
+                      [static_cast<std::size_t>(to.machine.get())] +=
+        send.bytes;
+    const int bucket = send.bytes < 1.0
+                           ? 0
+                           : std::min<int>(
+                                 static_cast<int>(out.size_histogram.size()) - 1,
+                                 static_cast<int>(std::log2(send.bytes)));
+    ++out.size_histogram[static_cast<std::size_t>(bucket)];
+  }
+  return out;
+}
+
+std::string render_profile(const TraceProfile& profile,
+                           const tracing::TraceDefs& defs,
+                           std::size_t max_regions) {
+  std::ostringstream os;
+  os << "Flat profile (total time " << profile.total_time << " s)\n";
+
+  std::vector<RegionProfile> sorted = profile.regions;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RegionProfile& a, const RegionProfile& b) {
+              return a.exclusive > b.exclusive;
+            });
+  TextTable rt({"region", "visits", "exclusive [s]", "inclusive [s]",
+                "% of total"});
+  std::size_t shown = 0;
+  for (const auto& rp : sorted) {
+    if (rp.visits == 0 || shown++ >= max_regions) continue;
+    rt.add_row({defs.regions.name(rp.region), std::to_string(rp.visits),
+                TextTable::fixed(rp.exclusive, 4),
+                TextTable::fixed(rp.inclusive, 4),
+                TextTable::percent(rp.exclusive /
+                                   std::max(profile.total_time, 1e-12))});
+  }
+  os << rt.render() << '\n';
+
+  TextTable mt({"message scope", "count", "bytes", "mean size [B]",
+                "mean gap [us]"});
+  const char* labels[3] = {"intra-node", "intra-metahost",
+                           "inter-metahost"};
+  for (int s = 0; s < 3; ++s) {
+    const auto& mp = profile.messages[s];
+    mt.add_row({labels[s], std::to_string(mp.count),
+                TextTable::fixed(mp.bytes, 0),
+                TextTable::fixed(mp.size.mean(), 0),
+                TextTable::fixed(mp.transfer_gap.mean() * 1e6, 1)});
+  }
+  os << mt.render() << '\n';
+
+  os << "Metahost communication matrix (bytes, from row to column):\n";
+  std::vector<std::string> headers{"from \\ to"};
+  for (const auto& mh : defs.metahosts) headers.push_back(mh.name);
+  TextTable cm(headers);
+  for (std::size_t i = 0; i < profile.metahost_bytes.size(); ++i) {
+    std::vector<std::string> row{defs.metahosts[i].name};
+    for (double v : profile.metahost_bytes[i])
+      row.push_back(TextTable::fixed(v, 0));
+    cm.add_row(row);
+  }
+  os << cm.render();
+  return os.str();
+}
+
+}  // namespace metascope::report

@@ -1,0 +1,64 @@
+// Flat trace profile — the "statistical summaries" trace browsers offer
+// (paper §3): per-region visit counts and inclusive/exclusive times,
+// message statistics by size and by system scope, and the
+// metahost-to-metahost communication matrix.
+//
+// Unlike the pattern analysis this is purely descriptive, but it is the
+// first thing a user looks at, and the communication matrix makes the
+// internal/external traffic split of a metacomputing run explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::report {
+
+struct RegionProfile {
+  RegionId region;
+  std::uint64_t visits{0};
+  double inclusive{0.0};
+  double exclusive{0.0};
+};
+
+/// Message scope by endpoint placement in the system tree.
+enum class MessageScope { IntraNode = 0, IntraMetahost = 1, InterMetahost = 2 };
+
+struct MessageProfile {
+  std::uint64_t count{0};
+  double bytes{0.0};
+  RunningStats size;
+  RunningStats transfer_gap;  ///< recv_time - send_time, seconds
+};
+
+struct TraceProfile {
+  /// Aggregated over all ranks, indexed by region id (dense).
+  std::vector<RegionProfile> regions;
+  /// Message statistics per scope (index = MessageScope).
+  MessageProfile messages[3];
+  /// bytes[from][to] between metahosts (point-to-point payloads).
+  std::vector<std::vector<double>> metahost_bytes;
+  /// Message-size histogram, bucket i = sizes in [2^i, 2^(i+1)).
+  std::vector<std::uint64_t> size_histogram;
+  double total_time{0.0};
+
+  [[nodiscard]] const MessageProfile& scope(MessageScope s) const {
+    return messages[static_cast<int>(s)];
+  }
+};
+
+/// Profiles the collection (any clock domain; gaps are only meaningful
+/// once synchronized).
+TraceProfile profile_traces(const tracing::TraceCollection& tc);
+
+/// Renders the profile as text: region table sorted by exclusive time,
+/// message scopes, and the metahost communication matrix.
+std::string render_profile(const TraceProfile& profile,
+                           const tracing::TraceDefs& defs,
+                           std::size_t max_regions = 20);
+
+}  // namespace metascope::report

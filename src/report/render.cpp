@@ -1,0 +1,188 @@
+#include "report/render.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope::report {
+
+namespace {
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " (%.4fs)", s);
+  return buf;
+}
+
+}  // namespace
+
+char severity_marker(double fraction) {
+  if (fraction < 0.001) return '.';
+  if (fraction < 0.01) return 'o';
+  if (fraction < 0.10) return 'O';
+  return '#';
+}
+
+std::string render_metric_tree(const Cube& cube, const RenderOptions& opts) {
+  const double total = cube.total_time();
+  MSC_CHECK(total > 0.0, "cube has no time");
+  std::ostringstream os;
+  os << "Metric tree (inclusive, % of total time " << total << " s)\n";
+  const std::function<void(MetricId, int)> walk = [&](MetricId m,
+                                                      int depth) {
+    const double inc = cube.metric_inclusive_total(m);
+    const double frac = inc / total;
+    if (depth > 0 && frac < opts.cutoff_fraction) return;
+    os << "  ";
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << '[' << severity_marker(frac) << "] " << pct(frac) << ' '
+       << cube.metrics.def(m).name;
+    if (opts.show_seconds) os << secs(inc);
+    os << '\n';
+    for (MetricId kid : cube.metrics.children(m)) walk(kid, depth + 1);
+  };
+  for (MetricId root : cube.metrics.roots()) walk(root, 0);
+  return os.str();
+}
+
+std::string render_call_tree(const Cube& cube, MetricId metric,
+                             const RenderOptions& opts) {
+  const double total = cube.total_time();
+  std::ostringstream os;
+  os << "Call tree for metric '" << cube.metrics.def(metric).name
+     << "' (inclusive over call subtree, % of total time)\n";
+  const std::function<void(CallPathId, int)> walk = [&](CallPathId c,
+                                                        int depth) {
+    const double sub = cube.cnode_subtree_inclusive(metric, c);
+    const double frac = sub / total;
+    if (frac < opts.cutoff_fraction) return;
+    os << "  ";
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << '[' << severity_marker(frac) << "] " << pct(frac) << ' '
+       << cube.regions.name(cube.calls.node(c).region);
+    if (opts.show_seconds) os << secs(sub);
+    os << '\n';
+    for (CallPathId kid : cube.calls.children(c)) walk(kid, depth + 1);
+  };
+  for (CallPathId root : cube.calls.roots()) walk(root, 0);
+  return os.str();
+}
+
+std::string render_system_tree(const Cube& cube, MetricId metric,
+                               CallPathId cnode,
+                               const RenderOptions& opts) {
+  const double total = cube.total_time();
+  std::ostringstream os;
+  os << "System tree for metric '" << cube.metrics.def(metric).name << "'";
+  if (cnode.valid())
+    os << " at call path '" << cube.calls.path_string(cnode, cube.regions)
+       << "'";
+  os << " (% of total time)\n";
+
+  // Per-rank severity for the selection.
+  const auto rank_value = [&](Rank r) {
+    if (cnode.valid()) {
+      // Inclusive over the call subtree at this rank.
+      const std::function<double(CallPathId)> sub = [&](CallPathId c) {
+        double s = cube.location_inclusive(metric, c, r);
+        for (CallPathId kid : cube.calls.children(c)) s += sub(kid);
+        return s;
+      };
+      return sub(cnode);
+    }
+    return cube.rank_inclusive_total(metric, r);
+  };
+
+  for (std::size_t mh = 0; mh < cube.system.metahosts.size(); ++mh) {
+    const auto& mdef = cube.system.metahosts[mh];
+    // Gather this metahost's ranks grouped by node.
+    double mh_total = 0.0;
+    std::vector<std::pair<Rank, double>> entries;
+    for (Rank r = 0; r < cube.num_ranks(); ++r) {
+      if (cube.system.location(r).machine != mdef.id) continue;
+      const double v = rank_value(r);
+      entries.emplace_back(r, v);
+      mh_total += v;
+    }
+    if (entries.empty()) continue;
+    os << "  [" << severity_marker(mh_total / total) << "] "
+       << pct(mh_total / total) << ' ' << mdef.name << '\n';
+    NodeId last_node{-1};
+    for (const auto& [r, v] : entries) {
+      const auto& loc = cube.system.location(r);
+      if (loc.node != last_node) {
+        // Node subtotal line.
+        double node_total = 0.0;
+        for (const auto& [r2, v2] : entries)
+          if (cube.system.location(r2).node == loc.node) node_total += v2;
+        os << "      [" << severity_marker(node_total / total) << "] "
+           << pct(node_total / total) << " node " << loc.node.get() << '\n';
+        last_node = loc.node;
+      }
+      if (v / total >= opts.cutoff_fraction) {
+        os << "          [" << severity_marker(v / total) << "] "
+           << pct(v / total) << " rank " << r;
+        if (opts.show_seconds) os << secs(v);
+        os << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string render_pair_breakdown(const Cube& cube, MetricId metric) {
+  const double total = cube.total_time();
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t a = 0; a < cube.system.metahosts.size(); ++a) {
+    for (std::size_t b = 0; b < cube.system.metahosts.size(); ++b) {
+      const double v = cube.pair_breakdown(
+          metric, cube.system.metahosts[a].id, cube.system.metahosts[b].id);
+      if (v <= 0.0) continue;
+      if (!any) {
+        os << "Breakdown of '" << cube.metrics.def(metric).name
+           << "' by (waiter <- peer) metahost pair:\n";
+        any = true;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%10.4f s  %5.1f%%  ", v,
+                    100.0 * v / total);
+      os << "  " << buf << cube.system.metahosts[a].name << " <- "
+         << cube.system.metahosts[b].name << '\n';
+    }
+  }
+  return any ? os.str() : std::string();
+}
+
+std::string render_report(const Cube& cube, const RenderOptions& opts) {
+  std::ostringstream os;
+  os << render_metric_tree(cube, opts) << '\n';
+  MetricId selected = cube.metrics.roots().front();
+  if (!opts.selected_metric.empty())
+    selected = cube.metrics.find(opts.selected_metric);
+  os << render_call_tree(cube, selected, opts) << '\n';
+  CallPathId cnode{};
+  if (!opts.selected_call_path.empty()) {
+    for (CallPathId c : cube.calls.preorder()) {
+      if (cube.calls.path_string(c, cube.regions) ==
+          opts.selected_call_path) {
+        cnode = c;
+        break;
+      }
+    }
+    MSC_CHECK(cnode.valid(),
+              "unknown call path: " + opts.selected_call_path);
+  }
+  os << render_system_tree(cube, selected, cnode, opts);
+  return os.str();
+}
+
+}  // namespace metascope::report

@@ -1,0 +1,53 @@
+// Text rendering of analysis results: the three coupled panels of the
+// paper's Figures 6/7 — metric tree, call tree, system tree — as
+// indented trees with severity percentages and severity-class markers.
+#pragma once
+
+#include <string>
+
+#include "report/cube.hpp"
+
+namespace metascope::report {
+
+struct RenderOptions {
+  /// Hide tree nodes whose inclusive severity is below this fraction of
+  /// total time (0 shows everything).
+  double cutoff_fraction{0.0005};
+  /// Selected metric for the call-tree panel ("" = first root).
+  std::string selected_metric;
+  /// Selected call path (path string) for the system-tree panel
+  /// ("" = all call paths).
+  std::string selected_call_path;
+  /// Show per-entry absolute seconds next to percentages.
+  bool show_seconds{false};
+};
+
+/// Severity-class marker mirroring the browser's colored squares.
+/// Boundaries (fractions of total time): <0.1% ".", <1% "o", <10% "O",
+/// otherwise "#".
+char severity_marker(double fraction);
+
+/// The metric-tree panel: every pattern with its inclusive severity as a
+/// percentage of total time.
+std::string render_metric_tree(const Cube& cube,
+                               const RenderOptions& opts = {});
+
+/// The call-tree panel for one selected metric.
+std::string render_call_tree(const Cube& cube, MetricId metric,
+                             const RenderOptions& opts = {});
+
+/// The system-tree panel (metahost / node / process) for one selected
+/// metric, optionally restricted to one call path.
+std::string render_system_tree(const Cube& cube, MetricId metric,
+                               CallPathId cnode = CallPathId{},
+                               const RenderOptions& opts = {});
+
+/// All three panels, arranged like the paper's screenshots.
+std::string render_report(const Cube& cube, const RenderOptions& opts = {});
+
+/// The fine-grained grid classification (paper §6 future work): for one
+/// grid pattern, the waiting time broken down by (waiter metahost <-
+/// peer metahost) pair. Empty string when the pattern has no grid hits.
+std::string render_pair_breakdown(const Cube& cube, MetricId metric);
+
+}  // namespace metascope::report

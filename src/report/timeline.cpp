@@ -1,0 +1,118 @@
+#include "report/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope::report {
+
+using tracing::EventType;
+
+namespace {
+
+char mpi_glyph(const std::string& name) {
+  if (name == "MPI_Send") return 's';
+  if (name == "MPI_Recv") return 'r';
+  if (name == "MPI_Isend") return 'i';
+  if (name == "MPI_Irecv") return 'j';
+  if (name == "MPI_Wait") return 'w';
+  if (name == "MPI_Sendrecv") return 'x';
+  if (name == "MPI_Barrier") return 'B';
+  if (name == "MPI_Allreduce") return 'A';
+  if (name == "MPI_Bcast") return 'b';
+  if (name == "MPI_Reduce") return 'd';
+  if (name == "MPI_Gather" || name == "MPI_Allgather") return 'g';
+  if (name == "MPI_Alltoall") return 't';
+  if (name == "MPI_Scatter") return 'c';
+  return 0;
+}
+
+}  // namespace
+
+std::string render_timeline(const tracing::TraceCollection& tc,
+                            const TimelineOptions& opts) {
+  MSC_CHECK(opts.width > 0, "timeline width must be positive");
+
+  // Window bounds.
+  double lo = opts.begin;
+  double hi = opts.end;
+  if (hi <= lo) {
+    lo = kInfTime;
+    hi = -kInfTime;
+    for (const auto& t : tc.ranks) {
+      if (t.events.empty()) continue;
+      lo = std::min(lo, t.events.front().time);
+      hi = std::max(hi, t.events.back().time);
+    }
+    MSC_CHECK(hi > lo, "timeline: no events to render");
+  }
+  const double dt = (hi - lo) / opts.width;
+
+  // Glyph assignment.
+  std::map<int, char> glyph;       // region id -> char
+  std::string user_letters = "abcdefghklmnopquvyzEFGHKLMNOPQUVYZ";
+  std::size_t next_user = 0;
+  const auto glyph_of = [&](RegionId region) {
+    auto it = glyph.find(region.get());
+    if (it != glyph.end()) return it->second;
+    const std::string& name = tc.defs.regions.name(region);
+    char g = mpi_glyph(name);
+    if (g == 0)
+      g = next_user < user_letters.size() ? user_letters[next_user++] : '.';
+    glyph.emplace(region.get(), g);
+    return g;
+  };
+
+  std::vector<Rank> ranks = opts.ranks;
+  if (ranks.empty())
+    for (int r = 0; r < tc.num_ranks(); ++r) ranks.push_back(r);
+
+  std::ostringstream os;
+  {
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "Timeline  [%.6f s .. %.6f s]  (%.2e s per column)\n", lo,
+                  hi, dt);
+    os << head;
+  }
+
+  for (Rank r : ranks) {
+    MSC_CHECK(r >= 0 && r < tc.num_ranks(), "timeline: rank out of range");
+    const auto& events = tc.ranks[static_cast<std::size_t>(r)].events;
+    std::string row(static_cast<std::size_t>(opts.width), opts.idle);
+    // Sweep events once, painting the innermost region per bucket.
+    std::vector<RegionId> stack;
+    std::size_t col = 0;
+    std::size_t i = 0;
+    for (col = 0; col < row.size(); ++col) {
+      const double mid = lo + (static_cast<double>(col) + 0.5) * dt;
+      while (i < events.size() && events[i].time <= mid) {
+        const auto& e = events[i];
+        if (e.type == EventType::Enter) {
+          stack.push_back(e.region);
+        } else if (e.type == EventType::Exit ||
+                   e.type == EventType::CollExit) {
+          if (!stack.empty()) stack.pop_back();
+        }
+        ++i;
+      }
+      if (!stack.empty()) row[col] = glyph_of(stack.back());
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "%4d |", r);
+    os << label << row << "|\n";
+  }
+
+  // Legend, sorted by glyph for stable output.
+  std::map<char, std::string> legend;
+  for (const auto& [region, g] : glyph)
+    legend[g] = tc.defs.regions.name(RegionId{region});
+  os << "legend:";
+  for (const auto& [g, name] : legend) os << ' ' << g << '=' << name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace metascope::report

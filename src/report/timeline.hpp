@@ -1,0 +1,39 @@
+// ASCII time-line rendering of traces — a text cousin of the VAMPIR
+// zoomable time-line display the paper discusses in §3. One row per
+// process, one character per time bucket showing the innermost region
+// active at the bucket's midpoint; a legend maps characters to regions.
+//
+// This is the "manual" view the automatic pattern search supersedes; it
+// is invaluable for debugging workloads and for seeing wait states with
+// your own eyes before trusting the analyzer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::report {
+
+struct TimelineOptions {
+  /// Window to render; end <= begin means "the whole trace".
+  double begin{0.0};
+  double end{0.0};
+  /// Characters across the time axis.
+  int width{96};
+  /// Ranks to show (empty = all).
+  std::vector<Rank> ranks;
+  /// Character shown when no region is active (before/after the trace).
+  char idle{' '};
+};
+
+/// Renders the timeline. MPI regions get fixed glyphs:
+///   s/r Send/Recv, i/j Isend/Irecv, w Wait, x Sendrecv, B Barrier,
+///   A Allreduce, b Bcast, d Reduce, g Gather/Allgather, t Alltoall,
+///   c Scatter; user regions get letters in order of first appearance,
+///   '.' once the alphabet is exhausted.
+std::string render_timeline(const tracing::TraceCollection& tc,
+                            const TimelineOptions& opts = {});
+
+}  // namespace metascope::report

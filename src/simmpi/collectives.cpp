@@ -1,0 +1,182 @@
+#include "simmpi/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace metascope::simmpi {
+
+namespace {
+
+int log2_rounds(int n) {
+  int rounds = 0;
+  int span = 1;
+  while (span < n) {
+    span *= 2;
+    ++rounds;
+  }
+  return std::max(rounds, 1);
+}
+
+TrueTime max_of(const std::vector<TrueTime>& ts) {
+  TrueTime m = ts.front();
+  for (const auto& t : ts) m = std::max(m, t);
+  return m;
+}
+
+}  // namespace
+
+CommLinkProfile profile_comm(const simnet::Topology& topo,
+                             const Communicator& comm) {
+  CommLinkProfile p;
+  const int n = comm.size();
+  if (n == 1) {
+    p.rounds = 0;
+    p.max_latency = 0.0;
+    p.min_bandwidth = 1e18;
+    return p;
+  }
+  p.rounds = log2_rounds(n);
+  // The dissemination/binomial stages are bounded by the worst link among
+  // members. A full O(n^2) pair scan is exact but needless: the worst link
+  // is external iff members span metahosts, else the slowest internal link
+  // of any occupied metahost.
+  std::vector<bool> seen;
+  std::vector<MetahostId> hosts;
+  for (Rank r : comm.members) {
+    const MetahostId m = topo.metahost_of(r);
+    if (std::find(hosts.begin(), hosts.end(), m) == hosts.end())
+      hosts.push_back(m);
+  }
+  for (MetahostId m : hosts) {
+    const auto& spec = topo.metahost(m);
+    p.max_latency = std::max(p.max_latency, spec.internal.latency_mean);
+    p.min_bandwidth = std::min(p.min_bandwidth, spec.internal.bandwidth_bps);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i)
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      const auto& l = topo.external_link(hosts[i], hosts[j]);
+      p.max_latency = std::max(p.max_latency, l.latency_mean);
+      p.min_bandwidth = std::min(p.min_bandwidth, l.bandwidth_bps);
+    }
+  return p;
+}
+
+CollTiming time_collective(OpKind kind, const simnet::Topology& topo,
+                           const Communicator& comm,
+                           const CommLinkProfile& profile,
+                           const std::vector<TrueTime>& enter, Rank root,
+                           double per_rank_bytes, Dur cpu_overhead) {
+  const int n = comm.size();
+  MSC_CHECK(static_cast<int>(enter.size()) == n,
+            "collective enter/member size mismatch");
+  CollTiming out;
+  out.exit.resize(static_cast<std::size_t>(n));
+  out.sent_bytes.assign(static_cast<std::size_t>(n), 0.0);
+  out.recvd_bytes.assign(static_cast<std::size_t>(n), 0.0);
+
+  const TrueTime last = max_of(enter);
+  const double bw = profile.min_bandwidth;
+  const Dur lat = profile.max_latency;
+  const int rounds = profile.rounds;
+  const int root_local = root >= 0 ? comm.local_rank(root) : -1;
+
+  auto all_exit_at = [&](TrueTime t) {
+    for (auto& e : out.exit) e = t;
+  };
+
+  switch (kind) {
+    case OpKind::Barrier: {
+      // Dissemination barrier: no rank leaves before the last has entered.
+      all_exit_at(last + static_cast<double>(rounds) * lat + cpu_overhead);
+      break;
+    }
+    case OpKind::Allreduce: {
+      // Recursive doubling: log2(n) rounds each moving the payload.
+      const Dur cost =
+          static_cast<double>(rounds) * (lat + per_rank_bytes / bw);
+      all_exit_at(last + cost + cpu_overhead);
+      for (int i = 0; i < n; ++i) {
+        out.sent_bytes[static_cast<std::size_t>(i)] = per_rank_bytes;
+        out.recvd_bytes[static_cast<std::size_t>(i)] = per_rank_bytes;
+      }
+      break;
+    }
+    case OpKind::Allgather:
+    case OpKind::Alltoall: {
+      // Ring/pairwise: every rank moves (n-1) blocks.
+      const Dur cost = static_cast<double>(rounds) * lat +
+                       static_cast<double>(n - 1) * per_rank_bytes / bw;
+      all_exit_at(last + cost + cpu_overhead);
+      for (int i = 0; i < n; ++i) {
+        out.sent_bytes[static_cast<std::size_t>(i)] =
+            per_rank_bytes * static_cast<double>(n - 1);
+        out.recvd_bytes[static_cast<std::size_t>(i)] =
+            per_rank_bytes * static_cast<double>(n - 1);
+      }
+      break;
+    }
+    case OpKind::Bcast:
+    case OpKind::Scatter: {
+      MSC_CHECK(root_local >= 0, "rooted collective without root");
+      const TrueTime root_enter = enter[static_cast<std::size_t>(root_local)];
+      for (int i = 0; i < n; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        if (i == root_local) {
+          out.exit[iu] = root_enter + per_rank_bytes / bw + cpu_overhead;
+          out.sent_bytes[iu] =
+              per_rank_bytes *
+              (kind == OpKind::Scatter ? static_cast<double>(n - 1) : 1.0);
+          continue;
+        }
+        const Rank g = comm.members[iu];
+        const auto& link = topo.link_between(root, g);
+        // Data reaches rank i after the root entered plus the tree depth
+        // in latency terms plus the serialized payload.
+        const Dur path = static_cast<double>(rounds) * link.latency_mean +
+                         per_rank_bytes / link.bandwidth_bps;
+        out.exit[iu] =
+            std::max(enter[iu], root_enter + path) + cpu_overhead;
+        out.recvd_bytes[iu] = per_rank_bytes;
+      }
+      break;
+    }
+    case OpKind::Reduce:
+    case OpKind::Gather: {
+      MSC_CHECK(root_local >= 0, "rooted collective without root");
+      // Root cannot finish before every contribution has arrived.
+      TrueTime root_done = enter[static_cast<std::size_t>(root_local)];
+      for (int i = 0; i < n; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        if (i == root_local) continue;
+        const Rank g = comm.members[iu];
+        const auto& link = topo.link_between(g, root);
+        const TrueTime arrive = enter[iu] + link.latency_mean +
+                                per_rank_bytes / link.bandwidth_bps;
+        root_done = std::max(root_done, arrive);
+      }
+      const double gather_factor =
+          kind == OpKind::Gather ? static_cast<double>(n - 1) : 1.0;
+      root_done = root_done + static_cast<double>(rounds) * cpu_overhead +
+                  (gather_factor - 1.0) * per_rank_bytes / bw;
+      for (int i = 0; i < n; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        if (i == root_local) {
+          out.exit[iu] = root_done + cpu_overhead;
+          out.recvd_bytes[iu] = per_rank_bytes * gather_factor;
+        } else {
+          // Non-roots fire their contribution and leave.
+          out.exit[iu] = enter[iu] + per_rank_bytes / bw + cpu_overhead;
+          out.sent_bytes[iu] = per_rank_bytes;
+        }
+      }
+      break;
+    }
+    default:
+      MSC_ASSERT(false, "not a collective op");
+  }
+  return out;
+}
+
+}  // namespace metascope::simmpi

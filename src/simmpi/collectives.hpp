@@ -1,0 +1,46 @@
+// Analytic timing models for collective operations.
+//
+// Collectives are modelled at the algorithm level (binomial/dissemination
+// rounds over the slowest link in the communicator), not message by
+// message. That is accurate enough to reproduce the wait-state patterns —
+// which depend on the *spread of entry times*, not on the internals of the
+// collective — while keeping the engine's fixed-point simple.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/op.hpp"
+#include "simnet/topology.hpp"
+
+namespace metascope::simmpi {
+
+/// Per-member outcome of one collective instance.
+struct CollTiming {
+  std::vector<TrueTime> exit;       ///< same order as comm.members
+  std::vector<double> sent_bytes;   ///< contribution pushed by each member
+  std::vector<double> recvd_bytes;  ///< data landing at each member
+};
+
+/// Worst-case link characteristics within a communicator; cached by the
+/// engine per communicator.
+struct CommLinkProfile {
+  Dur max_latency{0.0};
+  double min_bandwidth{1e18};
+  int rounds{0};  ///< ceil(log2(size)), at least 1 for size > 1
+};
+
+CommLinkProfile profile_comm(const simnet::Topology& topo,
+                             const Communicator& comm);
+
+/// Computes exit times for a collective whose members entered at `enter`
+/// (ordered like comm.members). `per_rank_bytes` is the payload each rank
+/// contributes (Op::bytes).
+CollTiming time_collective(OpKind kind, const simnet::Topology& topo,
+                           const Communicator& comm,
+                           const CommLinkProfile& profile,
+                           const std::vector<TrueTime>& enter, Rank root,
+                           double per_rank_bytes, Dur cpu_overhead);
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,572 @@
+#include "simmpi/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simmpi/collectives.hpp"
+#include "simnet/network.hpp"
+
+namespace metascope::simmpi {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Half identification: every point-to-point transfer has a send half and
+// a receive half, each owned by one (rank, op). SendRecv ops own one of
+// each. Halves are keyed for the matching tables.
+// ---------------------------------------------------------------------
+
+enum class HalfSide : std::uint8_t { SendHalf = 0, RecvHalf = 1 };
+
+std::uint64_t half_key(Rank rank, std::uint32_t op_idx, HalfSide side) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 33) |
+         (static_cast<std::uint64_t>(op_idx) << 1) |
+         static_cast<std::uint64_t>(side);
+}
+
+struct HalfState {
+  bool posted{false};
+  TrueTime post_time;
+  bool timed{false};
+  bool rendezvous{false};
+  double bytes{0.0};
+  Rank src{kNoRank};
+  Rank dst{kNoRank};
+  // Outputs (valid once timed). All stored on the *send* half; the recv
+  // half holds only posted/post_time and a pointer to its partner.
+  TrueTime send_event;
+  TrueTime send_done;
+  TrueTime arrival;
+};
+
+struct CollInstance {
+  std::vector<TrueTime> enter;
+  std::vector<bool> present;
+  int arrived{0};
+  bool timed{false};
+  CollTiming timing;
+  OpKind kind{OpKind::Barrier};
+  Rank root{kNoRank};
+  double bytes{0.0};
+};
+
+struct RequestState {
+  std::uint64_t half{0};
+  bool is_recv{false};
+  double bytes{0.0};
+  Rank peer{kNoRank};
+  int tag{0};
+  CommId comm{0};
+};
+
+class EngineImpl {
+ public:
+  EngineImpl(const simnet::Topology& topo, const Program& prog,
+             const EngineConfig& cfg)
+      : topo_(topo),
+        prog_(prog),
+        cfg_(cfg),
+        net_(topo, Rng(cfg.seed)),
+        mpi_region_(static_cast<std::size_t>(17)) {
+    MSC_CHECK(topo_.num_ranks() == prog_.num_ranks(),
+              "topology rank count differs from program rank count");
+    const auto n = static_cast<std::size_t>(prog_.num_ranks());
+    now_.assign(n, TrueTime{0.0});
+    ip_.assign(n, 0);
+    posted_current_.assign(n, false);
+    events_.assign(n, {});
+    requests_.assign(n, {});
+    coll_count_.assign(n, std::vector<int>(prog_.comms.size(), 0));
+    // Intern MPI call regions into a const_cast-free private copy? The
+    // program owns the region table; engine emits region ids from it. MPI
+    // regions were interned at build time by the cursor only for user
+    // regions, so intern them here into the lookup used for events.
+    build_mpi_regions();
+    precompute_matching();
+  }
+
+  ExecResult run() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      ++stats_.sweeps;
+      for (Rank r = 0; r < prog_.num_ranks(); ++r)
+        progress = advance(r) || progress;
+    }
+    for (Rank r = 0; r < prog_.num_ranks(); ++r) {
+      if (ip_[static_cast<std::size_t>(r)] <
+          prog_.ops[static_cast<std::size_t>(r)].size()) {
+        std::ostringstream os;
+        const auto& op = prog_.ops[static_cast<std::size_t>(
+            r)][ip_[static_cast<std::size_t>(r)]];
+        os << "simulated deadlock: rank " << r << " blocked at op "
+           << ip_[static_cast<std::size_t>(r)] << " (kind "
+           << static_cast<int>(op.kind) << ", peer " << op.peer << ", tag "
+           << op.tag << ")";
+        throw Error(os.str());
+      }
+    }
+    ExecResult out;
+    out.per_rank = std::move(events_);
+    out.rank_end.resize(now_.size());
+    out.end_time = TrueTime{0.0};
+    for (std::size_t r = 0; r < now_.size(); ++r) {
+      out.rank_end[r] = now_[r];
+      out.end_time = std::max(out.end_time, now_[r]);
+    }
+    for (const auto& v : out.per_rank) stats_.events += v.size();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  // --- setup -----------------------------------------------------------
+
+  void build_mpi_regions() {
+    // MPI call regions were pre-interned by the Program constructor.
+    for (OpKind k :
+         {OpKind::Send, OpKind::Recv, OpKind::Isend, OpKind::Irecv,
+          OpKind::Wait, OpKind::SendRecv, OpKind::Barrier, OpKind::Bcast,
+          OpKind::Reduce, OpKind::Allreduce, OpKind::Gather,
+          OpKind::Allgather, OpKind::Scatter, OpKind::Alltoall})
+      mpi_region_[static_cast<std::size_t>(k)] =
+          prog_.regions.find(mpi_region_name(k));
+  }
+
+  RegionId mpi_region(OpKind k) const {
+    return mpi_region_[static_cast<std::size_t>(k)];
+  }
+
+  void precompute_matching() {
+    // Channel = (src, dst, tag, comm). The i-th send half on a channel
+    // matches the i-th recv half (MPI non-overtaking order).
+    struct Channel {
+      std::vector<std::uint64_t> sends;
+      std::vector<std::uint64_t> recvs;
+    };
+    std::map<std::tuple<Rank, Rank, int, int>, Channel> channels;
+    for (Rank r = 0; r < prog_.num_ranks(); ++r) {
+      const auto& ops = prog_.ops[static_cast<std::size_t>(r)];
+      for (std::uint32_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        switch (op.kind) {
+          case OpKind::Send:
+          case OpKind::Isend:
+            channels[{r, op.peer, op.tag, op.comm.get()}].sends.push_back(
+                half_key(r, i, HalfSide::SendHalf));
+            break;
+          case OpKind::Recv:
+          case OpKind::Irecv:
+            channels[{op.peer, r, op.tag, op.comm.get()}].recvs.push_back(
+                half_key(r, i, HalfSide::RecvHalf));
+            break;
+          case OpKind::SendRecv:
+            channels[{r, op.peer, op.tag, op.comm.get()}].sends.push_back(
+                half_key(r, i, HalfSide::SendHalf));
+            channels[{op.recv_peer, r, op.tag, op.comm.get()}]
+                .recvs.push_back(half_key(r, i, HalfSide::RecvHalf));
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    for (const auto& [key, ch] : channels) {
+      MSC_ASSERT(ch.sends.size() == ch.recvs.size(),
+                 "validate() should have rejected unmatched p2p");
+      for (std::size_t i = 0; i < ch.sends.size(); ++i) {
+        partner_[ch.sends[i]] = ch.recvs[i];
+        partner_[ch.recvs[i]] = ch.sends[i];
+      }
+    }
+  }
+
+  // --- helpers ---------------------------------------------------------
+
+  Dur overhead(Rank r) const { return cfg_.cpu_overhead / topo_.speed_of(r); }
+
+  HalfState& half(std::uint64_t key) { return halves_[key]; }
+
+  std::uint64_t partner_of(std::uint64_t key) const {
+    auto it = partner_.find(key);
+    MSC_ASSERT(it != partner_.end(), "unmatched half");
+    return it->second;
+  }
+
+  void post_send_half(Rank r, std::uint32_t op_idx, const Op& op,
+                      TrueTime t, Rank dst, double bytes) {
+    const auto key = half_key(r, op_idx, HalfSide::SendHalf);
+    HalfState& h = half(key);
+    h.posted = true;
+    h.post_time = t;
+    h.bytes = bytes;
+    h.src = r;
+    h.dst = dst;
+    h.rendezvous = bytes > cfg_.eager_threshold;
+    (void)op;
+    try_time_send(key);
+  }
+
+  void post_recv_half(Rank r, std::uint32_t op_idx, TrueTime t, Rank src) {
+    const auto key = half_key(r, op_idx, HalfSide::RecvHalf);
+    HalfState& h = half(key);
+    h.posted = true;
+    h.post_time = t;
+    h.src = src;
+    h.dst = r;
+    // A rendezvous sender might be blocked on this post.
+    try_time_send(partner_of(key));
+  }
+
+  /// Attempts to compute the transfer times for a send half. Eager sends
+  /// time immediately; rendezvous sends require the posted receive.
+  void try_time_send(std::uint64_t send_key) {
+    HalfState& s = half(send_key);
+    if (!s.posted || s.timed) return;
+    const Dur o = overhead(s.src);
+    if (!s.rendezvous) {
+      s.send_event = s.post_time + 0.5 * o;
+      const auto& link = topo_.link_between(s.src, s.dst);
+      s.send_done = s.post_time + o + s.bytes / link.bandwidth_bps;
+      s.arrival = s.send_event + net_.sample_delay(s.src, s.dst, s.bytes);
+      s.timed = true;
+    } else {
+      const HalfState& rhalf = half(partner_of(send_key));
+      if (!rhalf.posted) return;
+      const Dur o_r = overhead(s.dst);
+      const Dur l1 = net_.sample_delay(s.src, s.dst, 0.0);
+      const Dur l2 = net_.sample_delay(s.dst, s.src, 0.0);
+      const Dur l3 = net_.sample_delay(s.src, s.dst, 0.0);
+      const TrueTime rts_at_recv = s.post_time + o + l1;
+      const TrueTime cts_at_sender =
+          std::max(rts_at_recv, rhalf.post_time + o_r) + l2;
+      const auto& link = topo_.link_between(s.src, s.dst);
+      s.send_event = s.post_time + 0.5 * o;
+      s.send_done = cts_at_sender + s.bytes / link.bandwidth_bps;
+      s.arrival = s.send_done + l3;
+      s.timed = true;
+    }
+    ++stats_.messages;
+    stats_.message_bytes += s.bytes;
+  }
+
+  void emit(Rank r, ExecEvent ev) {
+    events_[static_cast<std::size_t>(r)].push_back(ev);
+  }
+
+  void emit_enter(Rank r, TrueTime t, RegionId region) {
+    ExecEvent ev;
+    ev.type = ExecEventType::Enter;
+    ev.time = t;
+    ev.region = region;
+    emit(r, ev);
+  }
+
+  void emit_exit(Rank r, TrueTime t) {
+    ExecEvent ev;
+    ev.type = ExecEventType::Exit;
+    ev.time = t;
+    emit(r, ev);
+  }
+
+  void emit_send(Rank r, TrueTime t, Rank dst, int tag, double bytes,
+                 CommId comm) {
+    ExecEvent ev;
+    ev.type = ExecEventType::Send;
+    ev.time = t;
+    ev.peer = dst;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    ev.comm = comm;
+    emit(r, ev);
+  }
+
+  void emit_recv(Rank r, TrueTime t, Rank src, int tag, double bytes,
+                 CommId comm) {
+    ExecEvent ev;
+    ev.type = ExecEventType::Recv;
+    ev.time = t;
+    ev.peer = src;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    ev.comm = comm;
+    emit(r, ev);
+  }
+
+  // --- the sweep -------------------------------------------------------
+
+  /// Advances rank r as far as possible; true if any op resolved.
+  bool advance(Rank r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const auto& ops = prog_.ops[ri];
+    bool progressed = false;
+    while (ip_[ri] < ops.size()) {
+      const auto op_idx = static_cast<std::uint32_t>(ip_[ri]);
+      const Op& op = ops[op_idx];
+      const TrueTime t = now_[ri];
+      const Dur o = overhead(r);
+
+      // Post side effects exactly once per op.
+      if (!posted_current_[ri]) {
+        switch (op.kind) {
+          case OpKind::Send:
+            post_send_half(r, op_idx, op, t, op.peer, op.bytes);
+            break;
+          case OpKind::Recv:
+            post_recv_half(r, op_idx, t, op.peer);
+            break;
+          case OpKind::Isend: {
+            post_send_half(r, op_idx, op, t, op.peer, op.bytes);
+            RequestState req;
+            req.half = half_key(r, op_idx, HalfSide::SendHalf);
+            req.is_recv = false;
+            req.bytes = op.bytes;
+            req.peer = op.peer;
+            req.tag = op.tag;
+            req.comm = op.comm;
+            requests_[ri].push_back(req);
+            break;
+          }
+          case OpKind::Irecv: {
+            post_recv_half(r, op_idx, t, op.peer);
+            RequestState req;
+            req.half = half_key(r, op_idx, HalfSide::RecvHalf);
+            req.is_recv = true;
+            req.peer = op.peer;
+            req.tag = op.tag;
+            req.comm = op.comm;
+            requests_[ri].push_back(req);
+            break;
+          }
+          case OpKind::SendRecv:
+            post_send_half(r, op_idx, op, t, op.peer, op.bytes);
+            post_recv_half(r, op_idx, t, op.recv_peer);
+            break;
+          default:
+            if (is_collective(op.kind)) post_collective(r, op, t);
+            break;
+        }
+        posted_current_[ri] = true;
+      }
+
+      // Try to resolve the op.
+      TrueTime done = t;
+      bool resolved = false;
+      switch (op.kind) {
+        case OpKind::Compute: {
+          done = t + op.work / topo_.speed_of(r);
+          resolved = true;
+          break;
+        }
+        case OpKind::Enter: {
+          emit_enter(r, t, op.region);
+          resolved = true;
+          break;
+        }
+        case OpKind::Exit: {
+          emit_exit(r, t);
+          resolved = true;
+          break;
+        }
+        case OpKind::Send: {
+          const HalfState& s = half(half_key(r, op_idx, HalfSide::SendHalf));
+          if (!s.timed) break;
+          emit_enter(r, t, mpi_region(OpKind::Send));
+          emit_send(r, s.send_event, op.peer, op.tag, op.bytes, op.comm);
+          done = s.send_done;
+          emit_exit(r, done);
+          resolved = true;
+          break;
+        }
+        case OpKind::Recv: {
+          const HalfState& s = half(
+              partner_of(half_key(r, op_idx, HalfSide::RecvHalf)));
+          if (!s.timed) break;
+          done = std::max(t, s.arrival) + o;
+          emit_enter(r, t, mpi_region(OpKind::Recv));
+          emit_recv(r, done, op.peer, op.tag, s.bytes, op.comm);
+          emit_exit(r, done);
+          resolved = true;
+          break;
+        }
+        case OpKind::Isend: {
+          // The call itself returns immediately; transfer may still be
+          // pending (rendezvous) and completes at Wait.
+          emit_enter(r, t, mpi_region(OpKind::Isend));
+          emit_send(r, t + 0.5 * o, op.peer, op.tag, op.bytes, op.comm);
+          done = t + o;
+          emit_exit(r, done);
+          resolved = true;
+          break;
+        }
+        case OpKind::Irecv: {
+          emit_enter(r, t, mpi_region(OpKind::Irecv));
+          done = t + o;
+          emit_exit(r, done);
+          resolved = true;
+          break;
+        }
+        case OpKind::Wait: {
+          const RequestState& req =
+              requests_[ri][static_cast<std::size_t>(op.request)];
+          if (req.is_recv) {
+            const HalfState& s = half(partner_of(req.half));
+            if (!s.timed) break;
+            done = std::max(t, s.arrival) + o;
+            emit_enter(r, t, mpi_region(OpKind::Wait));
+            emit_recv(r, done, req.peer, req.tag, s.bytes, req.comm);
+            emit_exit(r, done);
+          } else {
+            const HalfState& s = half(req.half);
+            if (!s.timed) break;
+            done = std::max(t, s.send_done) + 0.5 * o;
+            emit_enter(r, t, mpi_region(OpKind::Wait));
+            emit_exit(r, done);
+          }
+          resolved = true;
+          break;
+        }
+        case OpKind::SendRecv: {
+          const HalfState& s = half(half_key(r, op_idx, HalfSide::SendHalf));
+          const HalfState& ps = half(
+              partner_of(half_key(r, op_idx, HalfSide::RecvHalf)));
+          if (!s.timed || !ps.timed) break;
+          const TrueTime recv_done = std::max(t, ps.arrival) + o;
+          done = std::max(s.send_done, recv_done);
+          emit_enter(r, t, mpi_region(OpKind::SendRecv));
+          emit_send(r, s.send_event, op.peer, op.tag, op.bytes, op.comm);
+          emit_recv(r, recv_done, op.recv_peer, op.tag, ps.bytes, op.comm);
+          emit_exit(r, done);
+          resolved = true;
+          break;
+        }
+        default: {
+          MSC_ASSERT(is_collective(op.kind), "unhandled op kind");
+          CollInstance& inst = coll_instance_of(r, op_idx);
+          if (!inst.timed) break;
+          const Communicator& comm = prog_.comms.get(op.comm);
+          const int local = comm.local_rank(r);
+          done = inst.timing.exit[static_cast<std::size_t>(local)];
+          emit_enter(r, t, mpi_region(op.kind));
+          ExecEvent ev;
+          ev.type = ExecEventType::CollExit;
+          ev.time = done;
+          ev.region = mpi_region(op.kind);
+          ev.comm = op.comm;
+          ev.root = op.root;
+          ev.bytes = op.bytes;
+          ev.sent_bytes =
+              inst.timing.sent_bytes[static_cast<std::size_t>(local)];
+          ev.recvd_bytes =
+              inst.timing.recvd_bytes[static_cast<std::size_t>(local)];
+          emit(r, ev);
+          resolved = true;
+          break;
+        }
+      }
+
+      if (!resolved) break;
+      now_[ri] = done;
+      ++ip_[ri];
+      posted_current_[ri] = false;
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  // --- collectives -----------------------------------------------------
+
+  void post_collective(Rank r, const Op& op, TrueTime t) {
+    const auto ri = static_cast<std::size_t>(r);
+    const auto ci = static_cast<std::size_t>(op.comm.get());
+    const int seq = coll_count_[ri][ci]++;
+    const Communicator& comm = prog_.comms.get(op.comm);
+    auto& list = coll_instances_[op.comm.get()];
+    if (static_cast<std::size_t>(seq) >= list.size()) {
+      list.resize(static_cast<std::size_t>(seq) + 1);
+    }
+    CollInstance& inst = list[static_cast<std::size_t>(seq)];
+    if (inst.enter.empty()) {
+      inst.enter.assign(static_cast<std::size_t>(comm.size()), TrueTime{});
+      inst.present.assign(static_cast<std::size_t>(comm.size()), false);
+      inst.kind = op.kind;
+      inst.root = op.root;
+      inst.bytes = op.bytes;
+    }
+    MSC_ASSERT(inst.kind == op.kind,
+               "collective kind mismatch (validate() hole?)");
+    const int local = comm.local_rank(r);
+    MSC_ASSERT(local >= 0, "collective poster not a member");
+    const auto lu = static_cast<std::size_t>(local);
+    MSC_ASSERT(!inst.present[lu], "double collective post");
+    inst.present[lu] = true;
+    inst.enter[lu] = t;
+    ++inst.arrived;
+    // Remember which instance this rank's op refers to.
+    coll_ref_[half_key(r, current_op_index(r), HalfSide::SendHalf)] = seq;
+    if (inst.arrived == comm.size()) {
+      auto pit = comm_profile_.find(op.comm.get());
+      if (pit == comm_profile_.end()) {
+        pit = comm_profile_
+                  .emplace(op.comm.get(), profile_comm(topo_, comm))
+                  .first;
+      }
+      inst.timing =
+          time_collective(inst.kind, topo_, comm, pit->second, inst.enter,
+                          inst.root, inst.bytes, cfg_.cpu_overhead);
+      inst.timed = true;
+      ++stats_.collectives;
+    }
+  }
+
+  std::uint32_t current_op_index(Rank r) const {
+    return static_cast<std::uint32_t>(ip_[static_cast<std::size_t>(r)]);
+  }
+
+  CollInstance& coll_instance_of(Rank r, std::uint32_t op_idx) {
+    const auto key = half_key(r, op_idx, HalfSide::SendHalf);
+    auto it = coll_ref_.find(key);
+    MSC_ASSERT(it != coll_ref_.end(), "collective op not posted");
+    const Op& op = prog_.ops[static_cast<std::size_t>(r)][op_idx];
+    return coll_instances_[op.comm.get()][static_cast<std::size_t>(
+        it->second)];
+  }
+
+  // --- state -----------------------------------------------------------
+
+  const simnet::Topology& topo_;
+  const Program& prog_;
+  EngineConfig cfg_;
+  simnet::Network net_;
+
+  std::vector<TrueTime> now_;
+  std::vector<std::size_t> ip_;
+  std::vector<bool> posted_current_;
+  std::vector<std::vector<ExecEvent>> events_;
+  std::vector<std::vector<RequestState>> requests_;
+  std::vector<std::vector<int>> coll_count_;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> partner_;
+  std::unordered_map<std::uint64_t, HalfState> halves_;
+  std::unordered_map<int, std::vector<CollInstance>> coll_instances_;
+  std::unordered_map<std::uint64_t, int> coll_ref_;
+  std::unordered_map<int, CommLinkProfile> comm_profile_;
+  std::vector<RegionId> mpi_region_;
+
+  EngineStats stats_;
+};
+
+}  // namespace
+
+ExecResult execute(const simnet::Topology& topo, const Program& prog,
+                   const EngineConfig& cfg) {
+  EngineImpl impl(topo, prog, cfg);
+  return impl.run();
+}
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,63 @@
+// Execution events produced by the engine, stamped in *true* global time.
+//
+// The tracing layer converts these into trace events with local-clock
+// stamps; analysis-side event types live in tracing/event.hpp. Event
+// sequences are per-rank and time-monotonic within a rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace metascope::simmpi {
+
+enum class ExecEventType : std::uint8_t {
+  Enter,     ///< entered a region (user function or MPI call)
+  Exit,      ///< left the innermost region
+  Send,      ///< message handed to the network (inside an MPI send region)
+  Recv,      ///< message fully received (inside an MPI recv/wait region)
+  CollExit,  ///< leave a collective region, with collective metadata
+};
+
+struct ExecEvent {
+  ExecEventType type{ExecEventType::Enter};
+  TrueTime time;
+  /// Enter: region entered. CollExit: the MPI collective region.
+  RegionId region;
+  /// Send: destination rank. Recv: source rank.
+  Rank peer{kNoRank};
+  int tag{0};
+  /// Send/Recv: message payload size.
+  double bytes{0.0};
+  CommId comm{0};
+  /// CollExit: root (kNoRank for rootless), bytes contributed/received.
+  Rank root{kNoRank};
+  double sent_bytes{0.0};
+  double recvd_bytes{0.0};
+};
+
+/// Aggregate counters for the run (diagnostics and benchmarks).
+struct EngineStats {
+  std::uint64_t messages{0};
+  double message_bytes{0.0};
+  std::uint64_t collectives{0};
+  std::uint64_t events{0};
+  std::uint64_t sweeps{0};  ///< fixed-point sweeps until quiescence
+};
+
+/// Result of executing a Program: per-rank event streams in true time.
+struct ExecResult {
+  std::vector<std::vector<ExecEvent>> per_rank;
+  /// Completion time of the last rank.
+  TrueTime end_time;
+  /// Per-rank completion times.
+  std::vector<TrueTime> rank_end;
+  EngineStats stats;
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(per_rank.size());
+  }
+};
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,29 @@
+#include "simmpi/op.hpp"
+
+namespace metascope::simmpi {
+
+const char* mpi_region_name(OpKind k) {
+  switch (k) {
+    case OpKind::Send: return "MPI_Send";
+    case OpKind::Recv: return "MPI_Recv";
+    case OpKind::Isend: return "MPI_Isend";
+    case OpKind::Irecv: return "MPI_Irecv";
+    case OpKind::Wait: return "MPI_Wait";
+    case OpKind::SendRecv: return "MPI_Sendrecv";
+    case OpKind::Barrier: return "MPI_Barrier";
+    case OpKind::Bcast: return "MPI_Bcast";
+    case OpKind::Reduce: return "MPI_Reduce";
+    case OpKind::Allreduce: return "MPI_Allreduce";
+    case OpKind::Gather: return "MPI_Gather";
+    case OpKind::Allgather: return "MPI_Allgather";
+    case OpKind::Scatter: return "MPI_Scatter";
+    case OpKind::Alltoall: return "MPI_Alltoall";
+    case OpKind::Compute:
+    case OpKind::Enter:
+    case OpKind::Exit:
+      break;
+  }
+  return "";
+}
+
+}  // namespace metascope::simmpi

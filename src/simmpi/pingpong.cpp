@@ -1,0 +1,23 @@
+#include "simmpi/pingpong.hpp"
+
+#include "common/error.hpp"
+#include "simnet/network.hpp"
+
+namespace metascope::simmpi {
+
+PingPongResult ping_pong(const simnet::Topology& topo, Rank a, Rank b,
+                         int reps, Rng& rng, double bytes) {
+  MSC_CHECK(a != b, "ping-pong needs two distinct ranks");
+  MSC_CHECK(reps > 0, "ping-pong needs repetitions");
+  simnet::Network net(topo, rng.split(0x70696e67ULL));
+  PingPongResult out;
+  out.repetitions = reps;
+  for (int i = 0; i < reps; ++i) {
+    const Dur rtt =
+        net.sample_delay(a, b, bytes) + net.sample_delay(b, a, bytes);
+    out.one_way.add(rtt / 2.0);
+  }
+  return out;
+}
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,22 @@
+// Ping-pong latency measurement over the simulated network — the
+// MetaMPICH measurement behind the paper's Table 1. Returns the sampled
+// one-way latency statistics (half round-trip of zero-byte messages).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "simnet/topology.hpp"
+
+namespace metascope::simmpi {
+
+struct PingPongResult {
+  RunningStats one_way;  ///< seconds
+  int repetitions{0};
+};
+
+/// Measures rank `a` <-> rank `b` with `reps` ping-pongs.
+PingPongResult ping_pong(const simnet::Topology& topo, Rank a, Rank b,
+                         int reps, Rng& rng, double bytes = 0.0);
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,105 @@
+// Program container and fluent builder for per-rank op sequences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/name_table.hpp"
+#include "common/types.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/op.hpp"
+
+namespace metascope::simmpi {
+
+/// A complete simulated application: one op sequence per rank plus the
+/// region and communicator definition tables shared by all ranks.
+struct Program {
+  explicit Program(int nranks)
+      : comms(nranks), ops(static_cast<std::size_t>(nranks)) {
+    // Pre-intern the MPI call regions so that region ids are stable and
+    // the engine never has to mutate a const program.
+    for (OpKind k :
+         {OpKind::Send, OpKind::Recv, OpKind::Isend, OpKind::Irecv,
+          OpKind::Wait, OpKind::SendRecv, OpKind::Barrier, OpKind::Bcast,
+          OpKind::Reduce, OpKind::Allreduce, OpKind::Gather,
+          OpKind::Allgather, OpKind::Scatter, OpKind::Alltoall})
+      regions.intern(mpi_region_name(k));
+  }
+
+  [[nodiscard]] int num_ranks() const { return comms.world_size(); }
+
+  NameTable<RegionId> regions;
+  CommSet comms;
+  std::vector<std::vector<Op>> ops;
+
+  /// Total op count across ranks (diagnostics).
+  [[nodiscard]] std::size_t total_ops() const;
+
+  /// Validates structural sanity: balanced Enter/Exit, peers in range,
+  /// matching collective sequences per communicator, matched p2p counts.
+  /// Throws Error with a precise description on the first defect.
+  void validate() const;
+};
+
+/// Fluent per-rank cursor. Obtained from ProgramBuilder::on().
+class RankCursor {
+ public:
+  RankCursor(Program& prog, Rank rank) : prog_(&prog), rank_(rank) {}
+
+  RankCursor& enter(const std::string& region);
+  RankCursor& exit();
+  RankCursor& compute(double seconds);
+  RankCursor& send(Rank dst, int tag, double bytes, CommId comm = CommId{0});
+  RankCursor& recv(Rank src, int tag, CommId comm = CommId{0});
+  /// Returns the request slot for the matching wait().
+  int isend(Rank dst, int tag, double bytes, CommId comm = CommId{0});
+  int irecv(Rank src, int tag, CommId comm = CommId{0});
+  RankCursor& wait(int request);
+  RankCursor& sendrecv(Rank dst, double send_bytes, Rank src,
+                       double recv_bytes, int tag, CommId comm = CommId{0});
+  RankCursor& barrier(CommId comm = CommId{0});
+  RankCursor& bcast(Rank root, double bytes, CommId comm = CommId{0});
+  RankCursor& reduce(Rank root, double bytes, CommId comm = CommId{0});
+  RankCursor& allreduce(double bytes, CommId comm = CommId{0});
+  RankCursor& gather(Rank root, double bytes, CommId comm = CommId{0});
+  RankCursor& allgather(double bytes, CommId comm = CommId{0});
+  RankCursor& scatter(Rank root, double bytes, CommId comm = CommId{0});
+  RankCursor& alltoall(double bytes, CommId comm = CommId{0});
+
+ private:
+  std::vector<Op>& ops() { return prog_->ops[static_cast<std::size_t>(rank_)]; }
+
+  Program* prog_;
+  Rank rank_;
+  int next_request_{0};
+};
+
+/// Owns a Program under construction and hands out rank cursors.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(int nranks) : prog_(nranks) {
+    cursors_.reserve(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) cursors_.emplace_back(prog_, r);
+  }
+
+  /// Cursor for one rank; cursors stay valid until take().
+  RankCursor& on(Rank r) {
+    MSC_CHECK(r >= 0 && r < prog_.num_ranks(), "rank out of range");
+    return cursors_[static_cast<std::size_t>(r)];
+  }
+
+  Program& program() { return prog_; }
+  CommSet& comms() { return prog_.comms; }
+
+  /// Validates and moves the finished program out.
+  Program take() {
+    prog_.validate();
+    return std::move(prog_);
+  }
+
+ private:
+  Program prog_;
+  std::vector<RankCursor> cursors_;
+};
+
+}  // namespace metascope::simmpi

@@ -1,0 +1,71 @@
+#include "simnet/clock.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace metascope::simnet {
+
+LocalTime ClockModel::at(TrueTime t) const {
+  return LocalTime{offset_ + (1.0 + drift_) * t.s};
+}
+
+LocalTime ClockModel::read(TrueTime t, Rng& rng) const {
+  double v = at(t).s;
+  if (read_noise_ > 0.0) v += rng.normal(0.0, read_noise_);
+  if (granularity_ > 0.0) v = std::floor(v / granularity_) * granularity_;
+  return LocalTime{v};
+}
+
+TrueTime ClockModel::true_of(LocalTime l) const {
+  return TrueTime{(l.s - offset_) / (1.0 + drift_)};
+}
+
+ClockSet ClockSet::perfect(const Topology& topo) {
+  ClockSet cs;
+  cs.clocks_.assign(static_cast<std::size_t>(topo.num_nodes()), ClockModel{});
+  return cs;
+}
+
+ClockSet ClockSet::randomized(const Topology& topo,
+                              const ClockCharacteristics& chars, Rng& rng) {
+  ClockSet cs;
+  cs.clocks_.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  // Metahosts with hardware-synchronized clocks share one model.
+  std::vector<bool> drawn(static_cast<std::size_t>(topo.num_metahosts()),
+                          false);
+  std::vector<ClockModel> shared(
+      static_cast<std::size_t>(topo.num_metahosts()));
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const MetahostId mh = topo.metahost_of_node(NodeId{n});
+    const auto& spec = topo.metahost(mh);
+    const auto draw = [&] {
+      const double off = rng.uniform(-chars.max_offset, chars.max_offset);
+      const double drift = rng.uniform(-chars.max_drift, chars.max_drift);
+      return ClockModel(off, drift, chars.granularity, chars.read_noise);
+    };
+    if (spec.has_global_clock) {
+      const auto mi = static_cast<std::size_t>(mh.get());
+      if (!drawn[mi]) {
+        shared[mi] = draw();
+        drawn[mi] = true;
+      }
+      cs.clocks_.push_back(shared[mi]);
+    } else {
+      cs.clocks_.push_back(draw());
+    }
+  }
+  return cs;
+}
+
+const ClockModel& ClockSet::node_clock(NodeId n) const {
+  MSC_CHECK(n.valid() && static_cast<std::size_t>(n.get()) < clocks_.size(),
+            "unknown node clock");
+  return clocks_[static_cast<std::size_t>(n.get())];
+}
+
+const ClockModel& ClockSet::clock_of(const Topology& topo, Rank rank) const {
+  return node_clock(topo.node_of(rank));
+}
+
+}  // namespace metascope::simnet

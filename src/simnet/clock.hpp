@@ -1,0 +1,84 @@
+// Node-local clock models (paper §3 "Synchronization of time stamps",
+// Figure 1).
+//
+// Each node's clock is a linear function of true time — an initial offset
+// plus a constant drift — with a read granularity and a small stochastic
+// read perturbation. The tracing layer stamps events through these models;
+// the clocksync module then tries to invert them from ping-pong
+// measurements alone, and tests can compare against the ground truth held
+// here (a luxury the paper's real testbed did not have).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "simnet/topology.hpp"
+
+namespace metascope::simnet {
+
+/// Linear clock: local = offset + (1 + drift) * true (+ read noise).
+class ClockModel {
+ public:
+  ClockModel() = default;
+  ClockModel(double offset_s, double drift, Dur granularity = 0.0,
+             Dur read_noise = 0.0)
+      : offset_(offset_s),
+        drift_(drift),
+        granularity_(granularity),
+        read_noise_(read_noise) {}
+
+  /// Deterministic clock value at true time t (no read noise).
+  [[nodiscard]] LocalTime at(TrueTime t) const;
+
+  /// A clock *read*: quantized to granularity and perturbed by read noise
+  /// drawn from `rng`. This is what the tracing layer records.
+  [[nodiscard]] LocalTime read(TrueTime t, Rng& rng) const;
+
+  /// Ground-truth inverse of the deterministic mapping.
+  [[nodiscard]] TrueTime true_of(LocalTime l) const;
+
+  [[nodiscard]] double offset() const { return offset_; }
+  [[nodiscard]] double drift() const { return drift_; }
+
+ private:
+  double offset_{0.0};
+  double drift_{0.0};
+  Dur granularity_{0.0};
+  Dur read_noise_{0.0};
+};
+
+/// Parameters for randomized clock generation across nodes.
+struct ClockCharacteristics {
+  /// Initial offsets drawn uniformly from ±max_offset.
+  Dur max_offset{0.5};
+  /// Drifts drawn uniformly from ±max_drift (dimensionless, e.g. 1e-5).
+  double max_drift{1e-5};
+  /// Clock read granularity (e.g. 1 µs timer tick => 1e-6).
+  Dur granularity{1e-7};
+  /// Stddev of per-read perturbation.
+  Dur read_noise{5e-8};
+};
+
+/// One clock per node of a topology.
+class ClockSet {
+ public:
+  /// Perfectly synchronized clocks (identity mapping).
+  static ClockSet perfect(const Topology& topo);
+
+  /// Randomized clocks per `chars`; metahosts with `has_global_clock`
+  /// share one offset/drift across their nodes.
+  static ClockSet randomized(const Topology& topo,
+                             const ClockCharacteristics& chars, Rng& rng);
+
+  [[nodiscard]] const ClockModel& node_clock(NodeId n) const;
+  /// Clock of the node hosting `rank`.
+  [[nodiscard]] const ClockModel& clock_of(const Topology& topo,
+                                           Rank rank) const;
+  [[nodiscard]] std::size_t size() const { return clocks_.size(); }
+
+ private:
+  std::vector<ClockModel> clocks_;
+};
+
+}  // namespace metascope::simnet

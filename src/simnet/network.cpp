@@ -1,0 +1,48 @@
+#include "simnet/network.hpp"
+
+namespace metascope::simnet {
+
+namespace {
+// SplitMix64-style mix for the deterministic per-route factor.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t a, std::uint64_t b, std::uint64_t seed) {
+  const std::uint64_t h = mix(a * 0x9e3779b97f4a7c15ULL + mix(b + seed));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+double Network::route_factor(Rank a, Rank b) const {
+  const LinkSpec& link = topo_->link_between(a, b);
+  if (link.asymmetry == 0.0) return 1.0;
+  const auto na = static_cast<std::uint64_t>(topo_->node_of(a).get());
+  const auto nb = static_cast<std::uint64_t>(topo_->node_of(b).get());
+  // Directed: (na, nb) and (nb, na) draw independent factors.
+  const double u = hash01(na + 1, (nb + 1) << 20, route_seed_);
+  return 1.0 + link.asymmetry * (2.0 * u - 1.0);
+}
+
+Dur Network::sample_delay(Rank a, Rank b, double bytes) {
+  const LinkSpec& link = topo_->link_between(a, b);
+  // Latencies cannot drop below a quarter of the mean: keeps draws
+  // physical while leaving room for the jitter the sync schemes fight.
+  const Dur base = link.latency_mean * route_factor(a, b);
+  const Dur lat =
+      rng_.normal_at_least(base, link.latency_stddev, 0.25 * base);
+  return lat + bytes / link.bandwidth_bps;
+}
+
+Dur Network::expected_delay(Rank a, Rank b, double bytes) const {
+  const LinkSpec& link = topo_->link_between(a, b);
+  return link.latency_mean * route_factor(a, b) + bytes / link.bandwidth_bps;
+}
+
+Dur Network::latency_stddev(Rank a, Rank b) const {
+  return topo_->link_between(a, b).latency_stddev;
+}
+
+}  // namespace metascope::simnet

@@ -1,0 +1,43 @@
+// Message-delay sampling over the topology's link models.
+//
+// delay(one-way) = latency_draw + bytes / bandwidth, where latency_draw is
+// normal(mean, stddev) truncated at a small positive floor. The stochastic
+// part is what makes offset measurements over high-latency links less
+// precise — the effect the paper's hierarchical synchronization targets.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "simnet/topology.hpp"
+
+namespace metascope::simnet {
+
+class Network {
+ public:
+  /// `route_seed` pins the per-node-pair route asymmetries; two Network
+  /// instances with the same seed see the same routes (jitter streams
+  /// may differ via `rng`).
+  Network(const Topology& topo, Rng rng, std::uint64_t route_seed = 0x524f55ULL)
+      : topo_(&topo), rng_(rng), route_seed_(route_seed) {}
+
+  /// Samples the one-way delay for a `bytes`-sized message a -> b.
+  [[nodiscard]] Dur sample_delay(Rank a, Rank b, double bytes);
+
+  /// Expected (jitter-free) delay a -> b, including route asymmetry.
+  [[nodiscard]] Dur expected_delay(Rank a, Rank b, double bytes) const;
+
+  /// Small-message latency stddev of the link a -> b.
+  [[nodiscard]] Dur latency_stddev(Rank a, Rank b) const;
+
+  /// Fixed latency multiplier of the directed route a -> b.
+  [[nodiscard]] double route_factor(Rank a, Rank b) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  Rng rng_;
+  std::uint64_t route_seed_;
+};
+
+}  // namespace metascope::simnet

@@ -1,0 +1,81 @@
+#include "simnet/presets.hpp"
+
+namespace metascope::simnet {
+
+Topology make_viola(ViolaIds* ids) {
+  Topology topo;
+
+  // Table 1 moments (µs): FZJ internal 21.5 ± 0.814, FH-BRS internal
+  // 44.4 ± 0.36, external (FZJ–FH-BRS) 988 ± 3.86.
+  MetahostSpec caesar;
+  caesar.name = kCaesarName;
+  caesar.num_nodes = 32;
+  caesar.cpus_per_node = 2;
+  caesar.speed_factor = 0.5;  // ~2x slower than FH-BRS on Trace kernels (§5)
+  caesar.internal = LinkSpec{microseconds(55.0), microseconds(1.5), 0.11e9};
+
+  MetahostSpec fh_brs;
+  fh_brs.name = kFhBrsName;
+  fh_brs.num_nodes = 6;
+  fh_brs.cpus_per_node = 4;
+  fh_brs.speed_factor = 1.0;
+  fh_brs.internal = LinkSpec{microseconds(44.4), microseconds(0.36), 0.23e9};
+
+  MetahostSpec fzj;
+  fzj.name = kFzjName;
+  fzj.num_nodes = 60;
+  fzj.cpus_per_node = 2;
+  fzj.speed_factor = 1.1;
+  fzj.internal = LinkSpec{microseconds(21.5), microseconds(0.814), 1.4e9};
+
+  const MetahostId c = topo.add_metahost(caesar);
+  const MetahostId f = topo.add_metahost(fh_brs);
+  const MetahostId z = topo.add_metahost(fzj);
+
+  // 10 Gbps optical WAN between every pair; latency moments from Table 1
+  // (FZJ–FH-BRS measured; others assumed comparable, sites 20–100 km apart).
+  // Each node reaches the WAN through its own GigE adapter (§5), so the
+  // forward and return paths of a node pair differ: up to ±8 % route
+  // asymmetry, i.e. offset-measurement bias up to ~79 us — large compared
+  // to internal latencies, tiny compared to the 988 us WAN latency.
+  LinkSpec wan{microseconds(988.0), microseconds(3.86), 1.25e9};
+  wan.asymmetry = 0.08;
+  topo.set_external_link(c, f, wan);
+  topo.set_external_link(c, z, wan);
+  topo.set_external_link(f, z, wan);
+  topo.set_default_external(wan);
+
+  if (ids) *ids = ViolaIds{c, f, z};
+  return topo;
+}
+
+Topology make_viola_experiment1(ViolaIds* ids) {
+  ViolaIds v;
+  Topology topo = make_viola(&v);
+  // Trace first (ranks 0..15): FH-BRS 2x4, then CAESAR 4x2.
+  topo.place_block(v.fh_brs, /*nodes=*/2, /*procs_per_node=*/4);
+  topo.place_block(v.caesar, /*nodes=*/4, /*procs_per_node=*/2);
+  // Partrace (ranks 16..31): FZJ XD1 8x2.
+  topo.place_block(v.fzj, /*nodes=*/8, /*procs_per_node=*/2);
+  if (ids) *ids = v;
+  return topo;
+}
+
+Topology make_ibm_power(int procs) {
+  Topology topo;
+  MetahostSpec ibm;
+  ibm.name = "IBM-AIX-POWER";
+  ibm.num_nodes = 1;
+  ibm.cpus_per_node = procs;
+  ibm.speed_factor = 1.0;
+  // Single-node shared-memory communication; node-internal link unused but
+  // set to a sane SMP value.
+  ibm.internal = LinkSpec{microseconds(3.0), microseconds(0.1), 3e9};
+  ibm.intra_node = LinkSpec{microseconds(1.2), microseconds(0.05), 3e9};
+  ibm.has_global_clock = true;
+  const MetahostId id = topo.add_metahost(ibm);
+  topo.place_block(id, 1, procs);
+  return topo;
+}
+
+}  // namespace metascope::simnet

@@ -1,0 +1,46 @@
+// Canned topologies reproducing the paper's testbeds.
+//
+// VIOLA (§5, Figure 5, Table 1): three sites joined by 10 Gbps optical
+// links — CAESAR (32x2 Xeon 2.6 GHz, GigE), FH-BRS (6x4 Opteron 2 GHz,
+// Myrinet), FZJ (Cray XD1, 60x2 Opteron 2.2 GHz, RapidArray). Latency
+// moments are taken from Table 1; CAESAR's GigE is assigned a typical
+// GigE latency. Speed factors encode the paper's observation that Trace
+// functions ran ~2x faster on FH-BRS than on CAESAR.
+//
+// The homogeneous IBM AIX POWER cluster of Experiment 2 (Table 3) is
+// provided as a second preset.
+#pragma once
+
+#include "simnet/topology.hpp"
+
+namespace metascope::simnet {
+
+/// Names used by the VIOLA preset, in metahost-id order.
+inline constexpr const char* kCaesarName = "CAESAR";
+inline constexpr const char* kFhBrsName = "FH-BRS";
+inline constexpr const char* kFzjName = "FZJ";
+
+struct ViolaIds {
+  MetahostId caesar;
+  MetahostId fh_brs;
+  MetahostId fzj;
+};
+
+/// Builds the three-site VIOLA metacomputer *without* placing any ranks;
+/// callers place ranks per experiment (see Table 3 configs below).
+Topology make_viola(ViolaIds* ids = nullptr);
+
+/// Experiment 1 (Table 3, three metahosts, 32 processes):
+///   Partrace — FZJ XD1: 8 nodes x 2 procs (ranks 16..31)
+///   Trace    — FH-BRS: 2 nodes x 4 procs (ranks 0..7)
+///            — CAESAR: 4 nodes x 2 procs (ranks 8..15)
+/// Rank layout: Trace occupies ranks [0, 16), Partrace [16, 32).
+Topology make_viola_experiment1(ViolaIds* ids = nullptr);
+
+/// Experiment 2 (Table 3, one metahost, 32 processes): a single IBM AIX
+/// POWER node with 32 CPUs (the paper used 16 procs/node on 1 node per
+/// model; we model one 32-way node machine with a shared-memory-class
+/// interconnect and a hardware-global clock).
+Topology make_ibm_power(int procs = 32);
+
+}  // namespace metascope::simnet

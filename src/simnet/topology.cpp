@@ -1,0 +1,163 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace metascope::simnet {
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::IntraNode: return "intra-node";
+    case LinkClass::Internal: return "internal";
+    case LinkClass::External: return "external";
+  }
+  return "?";
+}
+
+MetahostId Topology::add_metahost(MetahostSpec spec) {
+  MSC_CHECK(!spec.name.empty(), "metahost needs a name");
+  MSC_CHECK(spec.num_nodes > 0 && spec.cpus_per_node > 0,
+            "metahost needs nodes and cpus");
+  MSC_CHECK(spec.speed_factor > 0.0, "speed factor must be positive");
+  metahosts_.push_back(std::move(spec));
+  return MetahostId{static_cast<int>(metahosts_.size()) - 1};
+}
+
+void Topology::set_external_link(MetahostId a, MetahostId b, LinkSpec spec) {
+  MSC_CHECK(a != b, "external link needs two distinct metahosts");
+  // Note: std::minmax on prvalues would dangle; take explicit copies.
+  const std::pair<int, int> key{std::min(a.get(), b.get()),
+                                std::max(a.get(), b.get())};
+  for (auto& [k, s] : external_) {
+    if (k == key) {
+      s = spec;
+      return;
+    }
+  }
+  external_.emplace_back(key, spec);
+}
+
+void Topology::place_block(MetahostId metahost, int nodes,
+                           int procs_per_node) {
+  MSC_CHECK(metahost.valid() &&
+                metahost.get() < static_cast<int>(metahosts_.size()),
+            "unknown metahost");
+  const auto& spec = metahosts_[static_cast<std::size_t>(metahost.get())];
+  MSC_CHECK(nodes <= spec.num_nodes, "placement exceeds metahost nodes");
+  MSC_CHECK(procs_per_node <= spec.cpus_per_node,
+            "placement exceeds cpus per node");
+  // Count nodes of this metahost already holding ranks so that repeated
+  // blocks on the same metahost land on fresh nodes.
+  int used_nodes = 0;
+  for (const auto& p : placement_)
+    if (p.metahost == metahost) used_nodes = std::max(used_nodes, p.node_local + 1);
+  MSC_CHECK(used_nodes + nodes <= spec.num_nodes,
+            "placement exceeds metahost nodes");
+
+  for (int n = 0; n < nodes; ++n) {
+    const NodeId node{next_node_++};
+    node_owner_.push_back(metahost);
+    for (int c = 0; c < procs_per_node; ++c) {
+      Placement p;
+      p.metahost = metahost;
+      p.node = node;
+      p.node_local = used_nodes + n;
+      p.cpu = c;
+      placement_.push_back(p);
+    }
+  }
+}
+
+const MetahostSpec& Topology::metahost(MetahostId id) const {
+  MSC_CHECK(id.valid() && id.get() < static_cast<int>(metahosts_.size()),
+            "unknown metahost");
+  return metahosts_[static_cast<std::size_t>(id.get())];
+}
+
+const Placement& Topology::placement(Rank r) const {
+  MSC_CHECK(r >= 0 && r < num_ranks(), "rank out of range");
+  return placement_[static_cast<std::size_t>(r)];
+}
+
+bool Topology::same_node(Rank a, Rank b) const {
+  return placement(a).node == placement(b).node;
+}
+
+bool Topology::same_metahost(Rank a, Rank b) const {
+  return placement(a).metahost == placement(b).metahost;
+}
+
+LinkClass Topology::link_class(Rank a, Rank b) const {
+  if (same_node(a, b)) return LinkClass::IntraNode;
+  if (same_metahost(a, b)) return LinkClass::Internal;
+  return LinkClass::External;
+}
+
+const LinkSpec& Topology::link_between(Rank a, Rank b) const {
+  switch (link_class(a, b)) {
+    case LinkClass::IntraNode:
+      return metahost(metahost_of(a)).intra_node;
+    case LinkClass::Internal:
+      return metahost(metahost_of(a)).internal;
+    case LinkClass::External:
+      return external_link(metahost_of(a), metahost_of(b));
+  }
+  MSC_ASSERT(false, "unreachable");
+}
+
+const LinkSpec& Topology::external_link(MetahostId a, MetahostId b) const {
+  const std::pair<int, int> key{std::min(a.get(), b.get()),
+                                std::max(a.get(), b.get())};
+  for (const auto& [k, s] : external_)
+    if (k == key) return s;
+  return default_external_;
+}
+
+std::vector<Rank> Topology::ranks_on(MetahostId id) const {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < num_ranks(); ++r)
+    if (metahost_of(r) == id) out.push_back(r);
+  return out;
+}
+
+std::vector<Rank> Topology::local_masters() const {
+  std::vector<Rank> masters(static_cast<std::size_t>(num_metahosts()),
+                            kNoRank);
+  for (Rank r = num_ranks() - 1; r >= 0; --r)
+    masters[static_cast<std::size_t>(metahost_of(r).get())] = r;
+  return masters;
+}
+
+MetahostId Topology::metahost_of_node(NodeId n) const {
+  MSC_CHECK(n.valid() && n.get() < next_node_, "unknown node");
+  return node_owner_[static_cast<std::size_t>(n.get())];
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << "Metacomputer: " << num_metahosts() << " metahosts, " << num_nodes()
+     << " nodes, " << num_ranks() << " ranks\n";
+  for (int m = 0; m < num_metahosts(); ++m) {
+    const MetahostId id{m};
+    const auto& spec = metahost(id);
+    const auto ranks = ranks_on(id);
+    os << "  [" << m << "] " << spec.name << ": " << spec.num_nodes
+       << " nodes x " << spec.cpus_per_node << " cpus, speed "
+       << spec.speed_factor << ", internal latency "
+       << spec.internal.latency_mean * 1e6 << " us";
+    if (!ranks.empty())
+      os << ", ranks " << ranks.front() << ".." << ranks.back();
+    os << '\n';
+  }
+  for (int a = 0; a < num_metahosts(); ++a)
+    for (int b = a + 1; b < num_metahosts(); ++b) {
+      const auto& l = external_link(MetahostId{a}, MetahostId{b});
+      os << "  link " << metahost(MetahostId{a}).name << " <-> "
+         << metahost(MetahostId{b}).name << ": latency "
+         << l.latency_mean * 1e6 << " us, bandwidth "
+         << l.bandwidth_bps / 1e9 << " GB/s\n";
+    }
+  return os.str();
+}
+
+}  // namespace metascope::simnet

@@ -1,0 +1,143 @@
+// Metacomputer topology model (paper §4, Figures 2 and 5).
+//
+// A metacomputer is a set of *metahosts* (independent parallel machines),
+// each made of SMP nodes with several CPUs, joined internally by a fast
+// interconnect and externally by high-latency links. Application processes
+// are placed onto (metahost, node, cpu) slots; the placement determines
+// which link class every message crosses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace metascope::simnet {
+
+/// Timing parameters of one link class. Latency jitter is the standard
+/// deviation of the per-message latency draw; the paper's Table 1 reports
+/// exactly these two moments per network.
+struct LinkSpec {
+  /// One-way small-message latency, seconds.
+  Dur latency_mean{0.0};
+  /// Standard deviation of the one-way latency, seconds.
+  Dur latency_stddev{0.0};
+  /// Sustained bandwidth, bytes/second.
+  double bandwidth_bps{1e9};
+  /// Maximum fractional route asymmetry between a directed node pair.
+  /// Each (source node, destination node) direction gets a fixed latency
+  /// multiplier in [1 - asymmetry, 1 + asymmetry], modelling distinct
+  /// forward/return paths (each node has its own network adapter). This
+  /// is the physical effect that biases offset measurements over
+  /// high-latency links — the problem the paper's hierarchical
+  /// synchronization solves.
+  double asymmetry{0.0};
+
+  /// Expected one-way duration for a message of `bytes` (without jitter).
+  [[nodiscard]] Dur expected_delay(double bytes) const {
+    return latency_mean + bytes / bandwidth_bps;
+  }
+};
+
+/// Static description of one metahost.
+struct MetahostSpec {
+  std::string name;
+  int num_nodes{1};
+  int cpus_per_node{1};
+  /// Relative compute speed: elapsed = nominal_work / speed_factor.
+  /// The paper observed FH-BRS running app code ~2x faster than CAESAR.
+  double speed_factor{1.0};
+  /// Internal interconnect of this metahost (node-to-node).
+  LinkSpec internal;
+  /// Intra-node communication (shared memory); defaults to a very fast link.
+  LinkSpec intra_node{microseconds(0.5), microseconds(0.05), 4e9};
+  /// True if the metahost provides hardware-synchronized node clocks
+  /// (paper §4: the intra-metahost sync step is then omitted).
+  bool has_global_clock{false};
+
+  [[nodiscard]] int num_cpus() const { return num_nodes * cpus_per_node; }
+};
+
+/// Network class a message crosses, by placement of the two endpoints.
+enum class LinkClass {
+  IntraNode,   ///< same SMP node
+  Internal,    ///< same metahost, different nodes
+  External,    ///< different metahosts
+};
+
+const char* to_string(LinkClass c);
+
+/// Where one rank lives.
+struct Placement {
+  MetahostId metahost;
+  NodeId node;      ///< globally unique node id
+  int node_local{0};  ///< node index within the metahost
+  int cpu{0};
+};
+
+/// Immutable topology: metahosts + external links + process placement.
+class Topology {
+ public:
+  /// Builder-style construction: add metahosts, then place ranks.
+  MetahostId add_metahost(MetahostSpec spec);
+
+  /// Sets the external link spec between a specific pair of metahosts.
+  /// Order-insensitive. If absent, `default_external` applies.
+  void set_external_link(MetahostId a, MetahostId b, LinkSpec spec);
+  void set_default_external(LinkSpec spec) { default_external_ = spec; }
+
+  /// Appends `count` consecutive ranks onto `metahost`, filling nodes
+  /// round-robin with `procs_per_node` ranks per node.
+  void place_block(MetahostId metahost, int nodes, int procs_per_node);
+
+  /// Number of application ranks placed.
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(placement_.size());
+  }
+  [[nodiscard]] int num_metahosts() const {
+    return static_cast<int>(metahosts_.size());
+  }
+  [[nodiscard]] int num_nodes() const { return next_node_; }
+
+  [[nodiscard]] const MetahostSpec& metahost(MetahostId id) const;
+  [[nodiscard]] const Placement& placement(Rank r) const;
+  [[nodiscard]] MetahostId metahost_of(Rank r) const {
+    return placement(r).metahost;
+  }
+  [[nodiscard]] NodeId node_of(Rank r) const { return placement(r).node; }
+  [[nodiscard]] double speed_of(Rank r) const {
+    return metahost(metahost_of(r)).speed_factor;
+  }
+
+  [[nodiscard]] bool same_node(Rank a, Rank b) const;
+  [[nodiscard]] bool same_metahost(Rank a, Rank b) const;
+  [[nodiscard]] LinkClass link_class(Rank a, Rank b) const;
+
+  /// Link spec governing a message from `a` to `b`.
+  [[nodiscard]] const LinkSpec& link_between(Rank a, Rank b) const;
+  /// External link spec between two metahosts.
+  [[nodiscard]] const LinkSpec& external_link(MetahostId a,
+                                              MetahostId b) const;
+
+  /// All ranks on the given metahost, ascending.
+  [[nodiscard]] std::vector<Rank> ranks_on(MetahostId id) const;
+  /// Lowest rank on each metahost (the natural "local master", §4).
+  [[nodiscard]] std::vector<Rank> local_masters() const;
+  /// Metahost id of node `n`.
+  [[nodiscard]] MetahostId metahost_of_node(NodeId n) const;
+
+  /// Human-readable topology dump (used to reproduce Figures 2/5).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<MetahostSpec> metahosts_;
+  std::vector<Placement> placement_;
+  std::vector<MetahostId> node_owner_;  // node id -> metahost
+  // External link overrides keyed by (min, max) metahost pair.
+  std::vector<std::pair<std::pair<int, int>, LinkSpec>> external_;
+  LinkSpec default_external_{milliseconds(1.0), microseconds(4.0), 1.25e9};
+  int next_node_{0};
+};
+
+}  // namespace metascope::simnet

@@ -1,0 +1,71 @@
+// Definition records shared by all local traces of an experiment: the
+// region table, communicators, the system hierarchy (metahost / node /
+// process / thread — the paper's four-element event location), and the
+// metahost identities established by the runtime environment mechanism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/name_table.hpp"
+#include "common/types.hpp"
+
+namespace metascope::tracing {
+
+/// One metahost as identified at measurement time (paper §4 "Metahost
+/// identification"): numeric id for internal use, readable name for
+/// presentation.
+struct MetahostDef {
+  MetahostId id;
+  std::string name;
+  bool operator==(const MetahostDef&) const = default;
+};
+
+/// The four-element event location of one process (thread 0 only; the
+/// modelled applications are single-threaded per rank).
+struct LocationDef {
+  MetahostId machine;
+  NodeId node;
+  Rank process{kNoRank};
+  int thread{0};
+  bool operator==(const LocationDef&) const = default;
+};
+
+struct CommDef {
+  CommId id;
+  std::string name;
+  std::vector<Rank> members;
+  bool operator==(const CommDef&) const = default;
+};
+
+struct TraceDefs {
+  NameTable<RegionId> regions;
+  std::vector<MetahostDef> metahosts;
+  std::vector<LocationDef> locations;  ///< indexed by rank
+  std::vector<CommDef> comms;          ///< indexed by comm id
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(locations.size());
+  }
+  [[nodiscard]] const LocationDef& location(Rank r) const {
+    MSC_CHECK(r >= 0 && r < num_ranks(), "rank out of range");
+    return locations[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const MetahostDef& metahost(MetahostId id) const {
+    MSC_CHECK(id.valid() &&
+                  static_cast<std::size_t>(id.get()) < metahosts.size(),
+              "metahost out of range");
+    return metahosts[static_cast<std::size_t>(id.get())];
+  }
+  /// Metahost of a rank.
+  [[nodiscard]] MetahostId metahost_of(Rank r) const {
+    return location(r).machine;
+  }
+  /// True if the two ranks live on different metahosts — the predicate
+  /// behind every "grid" pattern variant.
+  [[nodiscard]] bool crosses_metahosts(Rank a, Rank b) const {
+    return metahost_of(a) != metahost_of(b);
+  }
+};
+
+}  // namespace metascope::tracing

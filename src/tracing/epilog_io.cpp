@@ -1,0 +1,227 @@
+#include "tracing/epilog_io.hpp"
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+
+namespace metascope::tracing {
+
+namespace {
+constexpr std::uint32_t kDefsMagic = 0x4453434DU;   // "MCSD"
+constexpr std::uint32_t kTraceMagic = 0x5453434DU;  // "MCST"
+
+void check_header(BufReader& r, std::uint32_t magic) {
+  MSC_CHECK(r.get_u32() == magic, "bad trace file magic");
+  const std::uint32_t version = r.get_u32();
+  MSC_CHECK(version == kTraceFormatVersion,
+            "unsupported trace format version " + std::to_string(version));
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_defs(const TraceCollection& tc) {
+  BufWriter w;
+  w.put_u32(kDefsMagic);
+  w.put_u32(kTraceFormatVersion);
+  w.put_u8(static_cast<std::uint8_t>(tc.scheme));
+  w.put_u8(tc.synchronized ? 1 : 0);
+  w.put_varint(static_cast<std::uint64_t>(tc.num_ranks()));
+
+  const auto& d = tc.defs;
+  w.put_varint(d.regions.size());
+  for (const auto& name : d.regions.all()) w.put_string(name);
+
+  w.put_varint(d.metahosts.size());
+  for (const auto& mh : d.metahosts) {
+    w.put_svarint(mh.id.get());
+    w.put_string(mh.name);
+  }
+
+  w.put_varint(d.locations.size());
+  for (const auto& loc : d.locations) {
+    w.put_svarint(loc.machine.get());
+    w.put_svarint(loc.node.get());
+    w.put_svarint(loc.process);
+    w.put_svarint(loc.thread);
+  }
+
+  w.put_varint(d.comms.size());
+  for (const auto& c : d.comms) {
+    w.put_svarint(c.id.get());
+    w.put_string(c.name);
+    w.put_varint(c.members.size());
+    for (Rank m : c.members) w.put_svarint(m);
+  }
+  return w.data();
+}
+
+TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes) {
+  BufReader r(bytes);
+  check_header(r, kDefsMagic);
+  TraceCollection tc;
+  tc.scheme = static_cast<SyncScheme>(r.get_u8());
+  tc.synchronized = r.get_u8() != 0;
+  const auto nranks = r.get_varint();
+  tc.ranks.resize(nranks);
+  for (std::size_t i = 0; i < nranks; ++i)
+    tc.ranks[i].rank = static_cast<Rank>(i);
+
+  const auto nregions = r.get_varint();
+  for (std::uint64_t i = 0; i < nregions; ++i)
+    tc.defs.regions.intern(r.get_string());
+
+  const auto nmh = r.get_varint();
+  for (std::uint64_t i = 0; i < nmh; ++i) {
+    MetahostDef mh;
+    mh.id = MetahostId{static_cast<int>(r.get_svarint())};
+    mh.name = r.get_string();
+    tc.defs.metahosts.push_back(std::move(mh));
+  }
+
+  const auto nloc = r.get_varint();
+  for (std::uint64_t i = 0; i < nloc; ++i) {
+    LocationDef loc;
+    loc.machine = MetahostId{static_cast<int>(r.get_svarint())};
+    loc.node = NodeId{static_cast<int>(r.get_svarint())};
+    loc.process = static_cast<Rank>(r.get_svarint());
+    loc.thread = static_cast<int>(r.get_svarint());
+    tc.defs.locations.push_back(loc);
+  }
+
+  const auto ncomm = r.get_varint();
+  for (std::uint64_t i = 0; i < ncomm; ++i) {
+    CommDef c;
+    c.id = CommId{static_cast<int>(r.get_svarint())};
+    c.name = r.get_string();
+    const auto nmem = r.get_varint();
+    c.members.reserve(nmem);
+    for (std::uint64_t k = 0; k < nmem; ++k)
+      c.members.push_back(static_cast<Rank>(r.get_svarint()));
+    tc.defs.comms.push_back(std::move(c));
+  }
+  MSC_CHECK(r.at_end(), "trailing bytes in defs file");
+  return tc;
+}
+
+std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
+  BufWriter w;
+  w.put_u32(kTraceMagic);
+  w.put_u32(kTraceFormatVersion);
+  w.put_svarint(trace.rank);
+
+  w.put_varint(trace.sync.size());
+  for (const auto& s : trace.sync) {
+    w.put_u8(static_cast<std::uint8_t>(s.phase));
+    w.put_svarint(s.ref_rank);
+    w.put_f64(s.local_mid);
+    w.put_f64(s.offset);
+    w.put_f64(s.error_bound);
+  }
+
+  w.put_varint(trace.events.size());
+  for (const auto& e : trace.events) {
+    w.put_u8(static_cast<std::uint8_t>(e.type));
+    w.put_f64(e.time);
+    switch (e.type) {
+      case EventType::Enter:
+        w.put_svarint(e.region.get());
+        break;
+      case EventType::Exit:
+        break;
+      case EventType::Send:
+      case EventType::Recv:
+        w.put_svarint(e.peer);
+        w.put_svarint(e.tag);
+        w.put_f64(e.bytes);
+        w.put_svarint(e.comm.get());
+        break;
+      case EventType::CollExit:
+        w.put_svarint(e.region.get());
+        w.put_svarint(e.comm.get());
+        w.put_svarint(e.root);
+        w.put_f64(e.bytes);
+        w.put_f64(e.sent_bytes);
+        w.put_f64(e.recvd_bytes);
+        break;
+    }
+  }
+  return w.data();
+}
+
+LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes) {
+  BufReader r(bytes);
+  check_header(r, kTraceMagic);
+  LocalTrace t;
+  t.rank = static_cast<Rank>(r.get_svarint());
+
+  const auto nsync = r.get_varint();
+  for (std::uint64_t i = 0; i < nsync; ++i) {
+    OffsetRecord s;
+    s.phase = r.get_u8();
+    s.ref_rank = static_cast<Rank>(r.get_svarint());
+    s.local_mid = r.get_f64();
+    s.offset = r.get_f64();
+    s.error_bound = r.get_f64();
+    t.sync.push_back(s);
+  }
+
+  const auto nev = r.get_varint();
+  t.events.reserve(nev);
+  for (std::uint64_t i = 0; i < nev; ++i) {
+    Event e;
+    e.type = static_cast<EventType>(r.get_u8());
+    e.time = r.get_f64();
+    switch (e.type) {
+      case EventType::Enter:
+        e.region = RegionId{static_cast<int>(r.get_svarint())};
+        break;
+      case EventType::Exit:
+        break;
+      case EventType::Send:
+      case EventType::Recv:
+        e.peer = static_cast<Rank>(r.get_svarint());
+        e.tag = static_cast<int>(r.get_svarint());
+        e.bytes = r.get_f64();
+        e.comm = CommId{static_cast<int>(r.get_svarint())};
+        break;
+      case EventType::CollExit:
+        e.region = RegionId{static_cast<int>(r.get_svarint())};
+        e.comm = CommId{static_cast<int>(r.get_svarint())};
+        e.root = static_cast<Rank>(r.get_svarint());
+        e.bytes = r.get_f64();
+        e.sent_bytes = r.get_f64();
+        e.recvd_bytes = r.get_f64();
+        break;
+      default:
+        throw Error("corrupt trace: unknown event type");
+    }
+    t.events.push_back(e);
+  }
+  MSC_CHECK(r.at_end(), "trailing bytes in trace file");
+  return t;
+}
+
+std::string defs_filename() { return "experiment.defs"; }
+
+std::string trace_filename(Rank rank) {
+  return "trace." + std::to_string(rank) + ".elg";
+}
+
+void write_collection(const std::string& dir, const TraceCollection& tc) {
+  write_file_bytes(dir + "/" + defs_filename(), encode_defs(tc));
+  for (const auto& t : tc.ranks)
+    write_file_bytes(dir + "/" + trace_filename(t.rank),
+                     encode_local_trace(t));
+}
+
+TraceCollection read_collection(const std::string& dir) {
+  TraceCollection tc =
+      decode_defs(read_file_bytes(dir + "/" + defs_filename()));
+  for (int r = 0; r < tc.num_ranks(); ++r) {
+    tc.ranks[static_cast<std::size_t>(r)] =
+        decode_local_trace(read_file_bytes(dir + "/" + trace_filename(r)));
+    MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
+              "trace file rank mismatch");
+  }
+  return tc;
+}
+
+}  // namespace metascope::tracing

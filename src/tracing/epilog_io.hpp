@@ -1,0 +1,44 @@
+// Binary trace format ("EPILOG-like"): one definitions file shared by the
+// experiment plus one event file per process. The per-process split is
+// what makes the metacomputing archive layout (paper §4 "Runtime archive
+// management") natural: each metahost's partial archive holds exactly the
+// files of its own processes.
+//
+// Layout (all integers varint/LEB128, floats little-endian f64):
+//   defs file:   magic "MSCD" u32-version, region table, metahost table,
+//                location table, communicator table, sync scheme flags
+//   trace file:  magic "MSCT" u32-version, rank, sync records, events
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracing/trace.hpp"
+
+namespace metascope::tracing {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Serialization of the shared definition records (+ collection flags).
+std::vector<std::uint8_t> encode_defs(const TraceCollection& tc);
+
+/// Decodes definitions into an empty collection (ranks left empty but
+/// sized; scheme/synchronized restored).
+TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes);
+
+/// Serialization of one process's events + sync records.
+std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace);
+LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes);
+
+/// Conventional file names inside an archive directory.
+std::string defs_filename();
+std::string trace_filename(Rank rank);
+
+/// Writes defs + all rank traces into `dir` (must exist).
+void write_collection(const std::string& dir, const TraceCollection& tc);
+
+/// Reads a collection previously written by write_collection.
+TraceCollection read_collection(const std::string& dir);
+
+}  // namespace metascope::tracing

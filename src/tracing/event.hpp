@@ -1,0 +1,46 @@
+// Trace-side event model (EPILOG-like, paper §3).
+//
+// Unlike simmpi::ExecEvent (true time), trace events carry timestamps in
+// whatever clock domain the trace is in: node-local clocks straight from
+// measurement, or the synchronized global domain after clock correction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace metascope::tracing {
+
+enum class EventType : std::uint8_t {
+  Enter = 0,
+  Exit = 1,
+  Send = 2,
+  Recv = 3,
+  CollExit = 4,  ///< collective-operation exit with metadata
+};
+
+const char* to_string(EventType t);
+
+struct Event {
+  EventType type{EventType::Enter};
+  /// Timestamp in the trace's current clock domain, seconds.
+  double time{0.0};
+  /// Enter/CollExit: region id.
+  RegionId region;
+  /// Send: destination rank; Recv: source rank.
+  Rank peer{kNoRank};
+  int tag{0};
+  /// Send/Recv: payload bytes.
+  double bytes{0.0};
+  CommId comm{0};
+  /// CollExit: root rank (kNoRank when rootless).
+  Rank root{kNoRank};
+  /// CollExit: bytes pushed/landed at this member.
+  double sent_bytes{0.0};
+  double recvd_bytes{0.0};
+
+  bool operator==(const Event&) const = default;
+};
+
+}  // namespace metascope::tracing

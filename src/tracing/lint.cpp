@@ -1,0 +1,202 @@
+#include "tracing/lint.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace metascope::tracing {
+
+std::string LintReport::summary() const {
+  if (ok()) return "trace collection is well-formed";
+  std::ostringstream os;
+  os << problems.size() << " problem(s):\n";
+  for (const auto& p : problems) os << "  - " << p << '\n';
+  return os.str();
+}
+
+namespace {
+
+void lint_rank(const TraceCollection& tc, const LocalTrace& trace,
+               std::size_t position, LintReport& rep) {
+  std::ostringstream who;
+  who << "rank " << trace.rank;
+  const std::string me = who.str();
+
+  if (trace.rank != static_cast<Rank>(position))
+    rep.problems.push_back(me + ": stored at position " +
+                           std::to_string(position));
+  if (trace.rank < 0 || trace.rank >= tc.defs.num_ranks()) {
+    rep.problems.push_back(me + ": no location entry");
+  } else if (tc.defs.location(trace.rank).process != trace.rank) {
+    rep.problems.push_back(me + ": location entry names process " +
+                           std::to_string(
+                               tc.defs.location(trace.rank).process));
+  }
+
+  double last = -kInfTime;
+  int depth = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    const std::string where = me + " event " + std::to_string(i);
+    if (e.time < last)
+      rep.problems.push_back(where + ": timestamp goes backwards");
+    last = e.time;
+    switch (e.type) {
+      case EventType::Enter:
+        if (!e.region.valid() ||
+            static_cast<std::size_t>(e.region.get()) >=
+                tc.defs.regions.size())
+          rep.problems.push_back(where + ": unknown region id");
+        ++depth;
+        break;
+      case EventType::Exit:
+      case EventType::CollExit:
+        if (depth == 0)
+          rep.problems.push_back(where + ": Exit without Enter");
+        else
+          --depth;
+        if (e.type == EventType::CollExit &&
+            (e.comm.get() < 0 ||
+             static_cast<std::size_t>(e.comm.get()) >= tc.defs.comms.size()))
+          rep.problems.push_back(where + ": unknown communicator");
+        break;
+      case EventType::Send:
+      case EventType::Recv:
+        if (e.peer < 0 || e.peer >= tc.num_ranks())
+          rep.problems.push_back(where + ": peer out of range");
+        if (e.bytes < 0.0)
+          rep.problems.push_back(where + ": negative message size");
+        break;
+    }
+  }
+  if (depth != 0)
+    rep.problems.push_back(me + ": " + std::to_string(depth) +
+                           " unclosed region(s)");
+}
+
+void lint_matching(const TraceCollection& tc, LintReport& rep) {
+  std::map<std::tuple<Rank, Rank, int, int>, long> balance;
+  for (const auto& t : tc.ranks) {
+    for (const auto& e : t.events) {
+      if (e.type == EventType::Send)
+        balance[{t.rank, e.peer, e.tag, e.comm.get()}] += 1;
+      else if (e.type == EventType::Recv)
+        balance[{e.peer, t.rank, e.tag, e.comm.get()}] -= 1;
+    }
+  }
+  for (const auto& [key, bal] : balance) {
+    if (bal == 0) continue;
+    std::ostringstream os;
+    os << "channel " << std::get<0>(key) << " -> " << std::get<1>(key)
+       << " tag " << std::get<2>(key) << ": "
+       << (bal > 0 ? "unreceived send(s)" : "unsent receive(s)") << " ("
+       << (bal > 0 ? bal : -bal) << ")";
+    rep.problems.push_back(os.str());
+  }
+}
+
+void lint_collectives(const TraceCollection& tc, LintReport& rep) {
+  // Count CollExit instances per (comm, seq); each must equal comm size.
+  std::map<std::pair<int, int>, int> arrived;
+  std::vector<std::map<int, int>> seq(
+      static_cast<std::size_t>(tc.num_ranks()));
+  for (const auto& t : tc.ranks) {
+    if (t.rank < 0 || static_cast<std::size_t>(t.rank) >= seq.size())
+      continue;
+    for (const auto& e : t.events) {
+      if (e.type != EventType::CollExit) continue;
+      if (e.comm.get() < 0 ||
+          static_cast<std::size_t>(e.comm.get()) >= tc.defs.comms.size())
+        continue;  // reported by lint_rank
+      const int s = seq[static_cast<std::size_t>(t.rank)][e.comm.get()]++;
+      ++arrived[{e.comm.get(), s}];
+    }
+  }
+  for (const auto& [key, count] : arrived) {
+    const auto& comm = tc.defs.comms[static_cast<std::size_t>(key.first)];
+    if (count != static_cast<int>(comm.members.size())) {
+      std::ostringstream os;
+      os << "collective " << key.second << " on " << comm.name << ": "
+         << count << "/" << comm.members.size() << " participants";
+      rep.problems.push_back(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_collection(const TraceCollection& tc) {
+  LintReport rep;
+  if (tc.defs.num_ranks() != tc.num_ranks())
+    rep.problems.push_back("location table size differs from trace count");
+  for (std::size_t i = 0; i < tc.ranks.size(); ++i)
+    lint_rank(tc, tc.ranks[i], i, rep);
+  lint_matching(tc, rep);
+  lint_collectives(tc, rep);
+  return rep;
+}
+
+std::string dump_trace(const TraceCollection& tc, Rank rank,
+                       std::size_t max_events) {
+  MSC_CHECK(rank >= 0 && rank < tc.num_ranks(), "rank out of range");
+  const auto& trace = tc.ranks[static_cast<std::size_t>(rank)];
+  std::ostringstream os;
+  os << "# rank " << rank;
+  if (rank < tc.defs.num_ranks()) {
+    const auto& loc = tc.defs.location(rank);
+    if (loc.machine.valid() &&
+        static_cast<std::size_t>(loc.machine.get()) <
+            tc.defs.metahosts.size())
+      os << " on " << tc.defs.metahost(loc.machine).name << " node "
+         << loc.node.get();
+  }
+  os << ", " << trace.events.size() << " events\n";
+  for (const auto& s : trace.sync) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "# sync phase %d vs rank %d: offset %+.3e s (err %.1e)\n",
+                  s.phase, s.ref_rank, s.offset, s.error_bound);
+    os << buf;
+  }
+  const std::size_t n = max_events == 0
+                            ? trace.events.size()
+                            : std::min(max_events, trace.events.size());
+  int depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = trace.events[i];
+    char head[48];
+    std::snprintf(head, sizeof head, "[%5zu] %14.6f  ", i, e.time);
+    os << head;
+    if (e.type == EventType::Exit || e.type == EventType::CollExit)
+      --depth;
+    for (int d = 0; d < depth; ++d) os << "  ";
+    switch (e.type) {
+      case EventType::Enter:
+        os << "ENTER " << tc.defs.regions.name(e.region);
+        ++depth;
+        break;
+      case EventType::Exit:
+        os << "EXIT";
+        break;
+      case EventType::Send:
+        os << "SEND -> " << e.peer << " tag " << e.tag << " ("
+           << static_cast<long long>(e.bytes) << " B)";
+        break;
+      case EventType::Recv:
+        os << "RECV <- " << e.peer << " tag " << e.tag << " ("
+           << static_cast<long long>(e.bytes) << " B)";
+        break;
+      case EventType::CollExit:
+        os << "COLLEXIT " << tc.defs.regions.name(e.region);
+        if (e.root != kNoRank) os << " root " << e.root;
+        break;
+    }
+    os << '\n';
+  }
+  if (n < trace.events.size())
+    os << "... (" << trace.events.size() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace metascope::tracing

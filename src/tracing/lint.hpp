@@ -1,0 +1,37 @@
+// Trace linting and human-readable dumping — the debugging companions of
+// the binary format. The linter collects *all* problems instead of
+// throwing on the first, so a corrupt archive can be diagnosed in one
+// pass; the dumper prints event streams the way one reads them in a
+// debugger session.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tracing/trace.hpp"
+
+namespace metascope::tracing {
+
+struct LintReport {
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const { return problems.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Structural validation of a collection:
+///  - rank ids are dense and match vector positions,
+///  - every region / communicator / metahost reference resolves,
+///  - per-rank timestamps are non-decreasing,
+///  - Enter/Exit nesting balances,
+///  - every send has a matching receive and vice versa,
+///  - collective instances are complete per communicator,
+///  - each rank's location entry exists and agrees on the process id.
+LintReport lint_collection(const TraceCollection& tc);
+
+/// Pretty-prints one rank's events ("[12] 1.002334  SEND -> 5 tag 3
+/// (32768 B)"); max_events = 0 dumps everything.
+std::string dump_trace(const TraceCollection& tc, Rank rank,
+                       std::size_t max_events = 0);
+
+}  // namespace metascope::tracing

@@ -1,0 +1,65 @@
+#include "tracing/matching.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace metascope::tracing {
+
+std::vector<MessagePair> match_messages(const TraceCollection& tc) {
+  // Channel key: (src, dst, tag, comm). Event order within one process's
+  // trace is program order, which is all non-overtaking matching needs.
+  std::map<std::tuple<Rank, Rank, int, int>, std::deque<EventRef>> sends;
+  std::map<std::tuple<Rank, Rank, int, int>, std::deque<EventRef>> recvs;
+  std::vector<MessagePair> pairs;
+
+  for (const auto& t : tc.ranks) {
+    for (std::uint32_t i = 0; i < t.events.size(); ++i) {
+      const Event& e = t.events[i];
+      if (e.type == EventType::Send) {
+        const auto key = std::tuple(t.rank, e.peer, e.tag, e.comm.get());
+        auto& waiting = recvs[key];
+        if (!waiting.empty()) {
+          pairs.push_back({EventRef{t.rank, i}, waiting.front()});
+          waiting.pop_front();
+        } else {
+          sends[key].push_back(EventRef{t.rank, i});
+        }
+      } else if (e.type == EventType::Recv) {
+        const auto key = std::tuple(e.peer, t.rank, e.tag, e.comm.get());
+        auto& waiting = sends[key];
+        if (!waiting.empty()) {
+          pairs.push_back({waiting.front(), EventRef{t.rank, i}});
+          waiting.pop_front();
+        } else {
+          recvs[key].push_back(EventRef{t.rank, i});
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, q] : sends) {
+    if (!q.empty()) {
+      std::ostringstream os;
+      os << "unmatched SEND " << std::get<0>(key) << " -> "
+         << std::get<1>(key) << " tag " << std::get<2>(key) << " ("
+         << q.size() << " left)";
+      throw Error(os.str());
+    }
+  }
+  for (const auto& [key, q] : recvs) {
+    if (!q.empty()) {
+      std::ostringstream os;
+      os << "unmatched RECV " << std::get<0>(key) << " -> "
+         << std::get<1>(key) << " tag " << std::get<2>(key) << " ("
+         << q.size() << " left)";
+      throw Error(os.str());
+    }
+  }
+  return pairs;
+}
+
+}  // namespace metascope::tracing

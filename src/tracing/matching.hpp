@@ -1,0 +1,30 @@
+// Post-mortem message matching: pairs every SEND event with its RECV
+// event using MPI non-overtaking order per (source, destination, tag,
+// communicator) channel. Used by the clock-condition checker and by the
+// serial pattern analyzer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tracing/trace.hpp"
+
+namespace metascope::tracing {
+
+struct EventRef {
+  Rank rank{kNoRank};
+  std::uint32_t index{0};
+
+  bool operator==(const EventRef&) const = default;
+};
+
+struct MessagePair {
+  EventRef send;
+  EventRef recv;
+};
+
+/// Matches all messages in the collection. Throws Error if any send or
+/// receive remains unmatched (truncated or corrupt traces).
+std::vector<MessagePair> match_messages(const TraceCollection& tc);
+
+}  // namespace metascope::tracing

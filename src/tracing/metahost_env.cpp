@@ -1,0 +1,72 @@
+#include "tracing/metahost_env.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace metascope::tracing {
+
+std::vector<EnvMap> default_envs(const simnet::Topology& topo) {
+  std::vector<EnvMap> envs;
+  envs.reserve(static_cast<std::size_t>(topo.num_metahosts()));
+  for (int m = 0; m < topo.num_metahosts(); ++m) {
+    EnvMap env;
+    env[kEnvMetahostId] = std::to_string(m);
+    env[kEnvMetahostName] = topo.metahost(MetahostId{m}).name;
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
+std::vector<MetahostDef> resolve_metahosts(const simnet::Topology& topo,
+                                           const std::vector<EnvMap>& envs) {
+  MSC_CHECK(static_cast<int>(envs.size()) == topo.num_metahosts(),
+            "one environment per metahost required");
+  const int n = topo.num_metahosts();
+  std::vector<MetahostDef> defs(static_cast<std::size_t>(n));
+  std::vector<bool> id_seen(static_cast<std::size_t>(n), false);
+  for (int m = 0; m < n; ++m) {
+    const EnvMap& env = envs[static_cast<std::size_t>(m)];
+    auto id_it = env.find(kEnvMetahostId);
+    auto name_it = env.find(kEnvMetahostName);
+    std::ostringstream where;
+    where << "metahost " << m << " (" << topo.metahost(MetahostId{m}).name
+          << ")";
+    MSC_CHECK(id_it != env.end(),
+              where.str() + ": " + kEnvMetahostId + " not set");
+    MSC_CHECK(name_it != env.end(),
+              where.str() + ": " + kEnvMetahostName + " not set");
+    MSC_CHECK(!name_it->second.empty(), where.str() + ": empty name");
+
+    int id = -1;
+    try {
+      std::size_t used = 0;
+      id = std::stoi(id_it->second, &used);
+      MSC_CHECK(used == id_it->second.size(),
+                where.str() + ": non-numeric metahost id '" + id_it->second +
+                    "'");
+    } catch (const std::logic_error&) {
+      throw Error(where.str() + ": non-numeric metahost id '" +
+                  id_it->second + "'");
+    }
+    MSC_CHECK(id >= 0 && id < n,
+              where.str() + ": metahost id out of range [0, n)");
+    MSC_CHECK(!id_seen[static_cast<std::size_t>(id)],
+              where.str() + ": duplicate metahost id " + std::to_string(id));
+    id_seen[static_cast<std::size_t>(id)] = true;
+
+    defs[static_cast<std::size_t>(m)] =
+        MetahostDef{MetahostId{id}, name_it->second};
+  }
+  // Names must be unique too — they key the presentation hierarchy.
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      MSC_CHECK(defs[static_cast<std::size_t>(a)].name !=
+                    defs[static_cast<std::size_t>(b)].name,
+                "duplicate metahost name: " +
+                    defs[static_cast<std::size_t>(a)].name);
+  return defs;
+}
+
+}  // namespace metascope::tracing

@@ -1,0 +1,35 @@
+// Runtime metahost identification (paper §4 "Metahost identification").
+//
+// The paper's mechanism: the user sets two environment variables on each
+// metahost — a unique numeric identifier used internally and a readable
+// name used in result presentation. We model per-metahost environments as
+// injectable string maps so tests can exercise the validation paths
+// (missing variable, duplicate id, id collisions across metahosts).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/topology.hpp"
+#include "tracing/defs.hpp"
+
+namespace metascope::tracing {
+
+/// Environment of one metahost.
+using EnvMap = std::map<std::string, std::string>;
+
+inline constexpr const char* kEnvMetahostId = "METASCOPE_METAHOST_ID";
+inline constexpr const char* kEnvMetahostName = "METASCOPE_METAHOST_NAME";
+
+/// Builds well-formed environments straight from a topology (what a
+/// correctly configured launch script would set).
+std::vector<EnvMap> default_envs(const simnet::Topology& topo);
+
+/// Resolves the metahost definition table from per-metahost environments.
+/// Throws Error if a variable is missing, an id is not a non-negative
+/// integer, ids collide, or ids do not form a dense [0, n) range.
+std::vector<MetahostDef> resolve_metahosts(const simnet::Topology& topo,
+                                           const std::vector<EnvMap>& envs);
+
+}  // namespace metascope::tracing

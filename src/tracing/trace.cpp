@@ -1,0 +1,54 @@
+#include "tracing/trace.hpp"
+
+#include <algorithm>
+
+namespace metascope::tracing {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::Enter: return "ENTER";
+    case EventType::Exit: return "EXIT";
+    case EventType::Send: return "SEND";
+    case EventType::Recv: return "RECV";
+    case EventType::CollExit: return "COLLEXIT";
+  }
+  return "?";
+}
+
+const char* to_string(SyncScheme s) {
+  switch (s) {
+    case SyncScheme::None: return "none";
+    case SyncScheme::FlatSingle: return "flat-single";
+    case SyncScheme::FlatTwo: return "flat-two";
+    case SyncScheme::HierarchicalTwo: return "hierarchical-two";
+  }
+  return "?";
+}
+
+std::size_t TraceCollection::total_events() const {
+  std::size_t n = 0;
+  for (const auto& t : ranks) n += t.events.size();
+  return n;
+}
+
+std::vector<TraceCollection::GlobalRef> TraceCollection::global_order()
+    const {
+  std::vector<GlobalRef> order;
+  order.reserve(total_events());
+  for (const auto& t : ranks)
+    for (std::uint32_t i = 0; i < t.events.size(); ++i)
+      order.push_back({t.rank, i});
+  std::sort(order.begin(), order.end(),
+            [this](const GlobalRef& a, const GlobalRef& b) {
+              const double ta =
+                  ranks[static_cast<std::size_t>(a.rank)].events[a.index].time;
+              const double tb =
+                  ranks[static_cast<std::size_t>(b.rank)].events[b.index].time;
+              if (ta != tb) return ta < tb;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.index < b.index;
+            });
+  return order;
+}
+
+}  // namespace metascope::tracing

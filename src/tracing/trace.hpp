@@ -1,0 +1,71 @@
+// Local traces and the experiment-wide trace collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tracing/defs.hpp"
+#include "tracing/event.hpp"
+
+namespace metascope::tracing {
+
+/// One offset measurement taken at runtime between this process and a
+/// reference process (paper §3/§4). `local_mid` is this process's clock
+/// at the measurement midpoint; `offset` estimates ref_clock - my_clock
+/// at that moment. Phase 0 = program start, phase 1 = program end.
+struct OffsetRecord {
+  int phase{0};
+  Rank ref_rank{kNoRank};
+  double local_mid{0.0};
+  double offset{0.0};
+  /// Half of the best round-trip seen — Cristian's error bound.
+  double error_bound{0.0};
+
+  bool operator==(const OffsetRecord&) const = default;
+};
+
+/// The events of one process, in its own clock domain, plus the offset
+/// measurements the runtime recorded for post-mortem synchronization.
+struct LocalTrace {
+  Rank rank{kNoRank};
+  std::vector<Event> events;
+  std::vector<OffsetRecord> sync;
+
+  bool operator==(const LocalTrace&) const = default;
+};
+
+/// Which synchronization protocol the measurement layer executed.
+enum class SyncScheme {
+  None,             ///< no measurements (perfect-clock experiments)
+  FlatSingle,       ///< every slave vs rank 0, program start only
+  FlatTwo,          ///< every slave vs rank 0, start and end
+  HierarchicalTwo,  ///< slaves vs local master, masters vs metamaster
+};
+
+const char* to_string(SyncScheme s);
+
+/// A complete experiment's worth of trace data.
+struct TraceCollection {
+  TraceDefs defs;
+  std::vector<LocalTrace> ranks;
+  SyncScheme scheme{SyncScheme::None};
+  /// Which clock domain event times are in.
+  bool synchronized{false};
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(ranks.size());
+  }
+  [[nodiscard]] std::size_t total_events() const;
+
+  /// Global event order: indices (rank, event index) sorted by timestamp
+  /// (ties broken by rank, then position). The KOJAK-style serial
+  /// analyzer replays this order.
+  struct GlobalRef {
+    Rank rank;
+    std::uint32_t index;
+  };
+  [[nodiscard]] std::vector<GlobalRef> global_order() const;
+};
+
+}  // namespace metascope::tracing

@@ -1,0 +1,37 @@
+#include "workloads/clockbench.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace metascope::workloads {
+
+simmpi::Program build_clock_bench(int num_ranks,
+                                  const ClockBenchConfig& cfg) {
+  MSC_CHECK(num_ranks >= 2, "clock bench needs at least two ranks");
+  MSC_CHECK(cfg.rounds > 0, "clock bench needs rounds");
+  simmpi::ProgramBuilder b(num_ranks);
+  Rng rng(cfg.seed);
+
+  for (Rank r = 0; r < num_ranks; ++r) b.on(r).enter("main");
+
+  for (int round = 0; round < cfg.rounds; ++round) {
+    const Rank a =
+        static_cast<Rank>(rng.uniform_index(static_cast<std::uint64_t>(num_ranks)));
+    Rank c =
+        static_cast<Rank>(rng.uniform_index(static_cast<std::uint64_t>(num_ranks - 1)));
+    if (c >= a) ++c;
+    for (Rank r = 0; r < num_ranks; ++r) {
+      b.on(r).compute(cfg.pad_work);
+      b.on(r).barrier();
+    }
+    b.on(a).enter("exchange").send(c, round, cfg.message_bytes);
+    b.on(a).recv(c, round).exit();
+    b.on(c).enter("exchange").recv(a, round);
+    b.on(c).send(a, round, cfg.message_bytes).exit();
+  }
+
+  for (Rank r = 0; r < num_ranks; ++r) b.on(r).exit();
+  return b.take();
+}
+
+}  // namespace metascope::workloads

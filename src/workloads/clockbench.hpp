@@ -1,0 +1,32 @@
+// The clock-condition validation benchmark (paper §5, Table 2):
+// "a benchmark that has been specifically designed to exchange a large
+// number of short messages between varying pairs of processes", so that
+// send and receive events are chronologically close and any residual
+// synchronization error shows up as clock-condition violations.
+//
+// Each round, all ranks meet at a barrier (keeping entry times tight);
+// then a pseudo-random pair exchanges a ping and a pong. Pairs are drawn
+// uniformly, so the benchmark covers intra-node, internal, and external
+// links in proportion.
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/program.hpp"
+
+namespace metascope::workloads {
+
+struct ClockBenchConfig {
+  int rounds{1500};
+  double message_bytes{64.0};
+  /// Nominal per-round compute between exchanges (stretches the run so
+  /// uncompensated drift accumulates — what separates Table 2's rows
+  /// (i) and (ii)).
+  double pad_work{0.002};
+  std::uint64_t seed{0xBE4C4ULL};
+};
+
+simmpi::Program build_clock_bench(int num_ranks,
+                                  const ClockBenchConfig& cfg = {});
+
+}  // namespace metascope::workloads

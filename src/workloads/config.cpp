@@ -1,0 +1,177 @@
+#include "workloads/config.hpp"
+
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/ensemble.hpp"
+#include "workloads/metatrace.hpp"
+#include "workloads/microworkloads.hpp"
+
+namespace metascope::workloads {
+
+namespace {
+
+simnet::LinkSpec parse_link(const Json& doc) {
+  simnet::LinkSpec link;
+  link.latency_mean = microseconds(doc.number_or("latency_us", 20.0));
+  link.latency_stddev = microseconds(doc.number_or("jitter_us", 0.5));
+  link.bandwidth_bps = doc.number_or("bandwidth_gbps", 1.0) * 1e9;
+  link.asymmetry = doc.number_or("asymmetry", 0.0);
+  MSC_CHECK(link.latency_mean >= 0.0, "config: negative latency");
+  MSC_CHECK(link.bandwidth_bps > 0.0, "config: bandwidth must be positive");
+  MSC_CHECK(link.asymmetry >= 0.0 && link.asymmetry < 1.0,
+            "config: asymmetry must be in [0, 1)");
+  return link;
+}
+
+simmpi::Program parse_workload(const Json& doc, int nranks) {
+  const std::string kind = doc.string_or("kind", "metatrace");
+  if (kind == "metatrace") {
+    MetaTraceConfig mt;
+    mt.trace_ranks = static_cast<int>(doc.int_or("trace_ranks", nranks / 2));
+    mt.partrace_ranks =
+        static_cast<int>(doc.int_or("partrace_ranks", nranks - mt.trace_ranks));
+    MSC_CHECK(mt.trace_ranks + mt.partrace_ranks == nranks,
+              "config: metatrace ranks must sum to the placement size");
+    if (doc.has("dims")) {
+      const auto& dims = doc.at("dims").as_array();
+      MSC_CHECK(dims.size() == 3, "config: dims needs three entries");
+      for (int d = 0; d < 3; ++d)
+        mt.dims[d] = static_cast<int>(dims[static_cast<std::size_t>(d)].as_int());
+    } else {
+      // Default to a flat 1D chain of trace ranks.
+      mt.dims[0] = mt.trace_ranks;
+      mt.dims[1] = 1;
+      mt.dims[2] = 1;
+    }
+    mt.coupling_steps = static_cast<int>(doc.int_or("coupling_steps", 4));
+    mt.cg_iterations = static_cast<int>(doc.int_or("cg_iterations", 30));
+    mt.cg_work = doc.number_or("cg_work_s", 0.004);
+    mt.halo_bytes = doc.number_or("halo_bytes", 32.0 * 1024.0);
+    mt.field_mb_total = doc.number_or("field_mb_total", 200.0);
+    mt.partrace_work_factor = doc.number_or("partrace_work_factor", 1.5);
+    return build_metatrace(mt);
+  }
+  if (kind == "ensemble") {
+    EnsembleConfig ec;
+    ec.members = static_cast<int>(doc.int_or("members", 4));
+    ec.ranks_per_member =
+        static_cast<int>(doc.int_or("ranks_per_member",
+                                    ec.members > 0 ? nranks / ec.members : 0));
+    MSC_CHECK(ec.num_ranks() == nranks,
+              "config: ensemble members*ranks_per_member must equal the "
+              "placement size");
+    ec.cycles = static_cast<int>(doc.int_or("cycles", 3));
+    ec.timesteps = static_cast<int>(doc.int_or("timesteps", 10));
+    ec.step_work = doc.number_or("step_work_s", 0.005);
+    ec.stats_work = doc.number_or("stats_work_s", 0.01);
+    ec.state_bytes = doc.number_or("state_bytes", 256.0 * 1024.0);
+    ec.forecast_bytes = doc.number_or("forecast_bytes", 128.0 * 1024.0);
+    return build_ensemble(ec);
+  }
+  if (kind == "clockbench") {
+    ClockBenchConfig bc;
+    bc.rounds = static_cast<int>(doc.int_or("rounds", 1000));
+    bc.message_bytes = doc.number_or("message_bytes", 64.0);
+    bc.pad_work = doc.number_or("pad_work_s", 0.002);
+    bc.seed = static_cast<std::uint64_t>(doc.int_or("seed", 0xBE4C4));
+    return build_clock_bench(nranks, bc);
+  }
+  if (kind == "pattern-demo") {
+    const std::string pattern = doc.string_or("pattern", "late-sender");
+    const double gap = doc.number_or("gap_s", 0.25);
+    if (pattern == "late-sender") return late_sender_program(gap);
+    if (pattern == "late-receiver") return late_receiver_program(gap);
+    if (pattern == "wait-barrier") {
+      std::vector<double> delays(static_cast<std::size_t>(nranks), 0.0);
+      for (std::size_t i = 0; i < delays.size(); ++i)
+        delays[i] = gap * static_cast<double>(i) /
+                    static_cast<double>(delays.size());
+      return wait_barrier_program(delays);
+    }
+    throw Error("config: unknown pattern '" + pattern + "'");
+  }
+  throw Error("config: unknown workload kind '" + kind + "'");
+}
+
+}  // namespace
+
+tracing::SyncScheme parse_sync_scheme(const std::string& name) {
+  if (name == "none") return tracing::SyncScheme::None;
+  if (name == "flat-single") return tracing::SyncScheme::FlatSingle;
+  if (name == "flat-two") return tracing::SyncScheme::FlatTwo;
+  if (name == "hierarchical-two")
+    return tracing::SyncScheme::HierarchicalTwo;
+  throw Error("config: unknown sync scheme '" + name + "'");
+}
+
+simnet::Topology parse_topology(const Json& doc) {
+  if (doc.has("preset")) {
+    const std::string preset = doc.at("preset").as_string();
+    if (preset == "viola-experiment1") return simnet::make_viola_experiment1();
+    if (preset == "viola") return simnet::make_viola();
+    if (preset == "ibm-power")
+      return simnet::make_ibm_power(
+          static_cast<int>(doc.int_or("procs", 32)));
+    throw Error("config: unknown topology preset '" + preset + "'");
+  }
+  simnet::Topology topo;
+  MSC_CHECK(doc.has("metahosts"), "config: topology needs metahosts");
+  for (const auto& mh : doc.at("metahosts").as_array()) {
+    simnet::MetahostSpec spec;
+    spec.name = mh.at("name").as_string();
+    spec.num_nodes = static_cast<int>(mh.int_or("nodes", 1));
+    spec.cpus_per_node = static_cast<int>(mh.int_or("cpus_per_node", 1));
+    spec.speed_factor = mh.number_or("speed", 1.0);
+    spec.internal = parse_link(mh);
+    spec.has_global_clock = mh.bool_or("global_clock", false);
+    topo.add_metahost(spec);
+  }
+  if (doc.has("external")) {
+    topo.set_default_external(parse_link(doc.at("external")));
+  }
+  MSC_CHECK(doc.has("placement"), "config: topology needs placement");
+  for (const auto& p : doc.at("placement").as_array()) {
+    topo.place_block(
+        MetahostId{static_cast<int>(p.at("metahost").as_int())},
+        static_cast<int>(p.at("nodes").as_int()),
+        static_cast<int>(p.at("procs_per_node").as_int()));
+  }
+  MSC_CHECK(topo.num_ranks() > 0, "config: placement placed no ranks");
+  return topo;
+}
+
+ExperimentSpec parse_experiment(const Json& doc) {
+  simnet::Topology topo = parse_topology(doc.at("topology"));
+  simmpi::Program prog =
+      parse_workload(doc.has("workload") ? doc.at("workload") : Json(),
+                     topo.num_ranks());
+  MSC_CHECK(prog.num_ranks() == topo.num_ranks(),
+            "config: workload rank count differs from placement");
+
+  ExperimentConfig cfg;
+  cfg.measurement.scheme =
+      parse_sync_scheme(doc.string_or("sync", "hierarchical-two"));
+  if (doc.has("clocks")) {
+    const Json& c = doc.at("clocks");
+    cfg.perfect_clocks = c.bool_or("perfect", false);
+    cfg.clocks.max_offset = c.number_or("max_offset_s", 0.5);
+    cfg.clocks.max_drift = c.number_or("max_drift", 1e-5);
+    cfg.clocks.granularity = c.number_or("granularity_s", 1e-7);
+    cfg.clocks.read_noise = c.number_or("read_noise_s", 5e-8);
+  }
+  const auto seed = static_cast<std::uint64_t>(doc.int_or("seed", 42));
+  cfg.clock_seed = seed;
+  cfg.engine.seed = seed + 1;
+  cfg.measurement.seed = seed + 2;
+
+  ExperimentSpec spec{doc.string_or("name", "experiment"), std::move(topo),
+                      std::move(prog), cfg};
+  return spec;
+}
+
+ExperimentSpec load_experiment(const std::string& path) {
+  return parse_experiment(load_json_file(path));
+}
+
+}  // namespace metascope::workloads

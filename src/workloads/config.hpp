@@ -1,0 +1,53 @@
+// JSON experiment descriptions: lets users define a metacomputer, a
+// workload, clock characteristics, and a synchronization scheme in a
+// config file and run the whole pipeline without writing C++ (see the
+// msc_run example).
+//
+// Schema (all sizes/latencies in the units of the field name):
+// {
+//   "name": "my-experiment",
+//   "seed": 7,
+//   "topology": { "preset": "viola-experiment1" | "ibm-power" }
+//     or {
+//       "metahosts": [ { "name": "A", "nodes": 4, "cpus_per_node": 2,
+//                        "speed": 1.0, "latency_us": 20, "jitter_us": 1,
+//                        "bandwidth_gbps": 1.0, "global_clock": false } ],
+//       "external": { "latency_us": 1000, "jitter_us": 4,
+//                     "bandwidth_gbps": 1.25, "asymmetry": 0.08 },
+//       "placement": [ { "metahost": 0, "nodes": 4, "procs_per_node": 2 } ]
+//     },
+//   "workload": { "kind": "metatrace" | "clockbench" | "pattern-demo",
+//                 ... kind-specific knobs ... },
+//   "clocks": { "perfect": false, "max_offset_s": 0.5, "max_drift": 1e-5 },
+//   "sync": "hierarchical-two" | "flat-two" | "flat-single" | "none"
+// }
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "simmpi/program.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/experiment.hpp"
+
+namespace metascope::workloads {
+
+struct ExperimentSpec {
+  std::string name;
+  simnet::Topology topology;
+  simmpi::Program program;
+  ExperimentConfig config;
+};
+
+/// Parses a complete experiment spec; throws Error with a field-level
+/// message on any problem (unknown preset, placement overflow, ...).
+ExperimentSpec parse_experiment(const Json& doc);
+
+/// Convenience: load + parse a config file.
+ExperimentSpec load_experiment(const std::string& path);
+
+/// The individual pieces (exposed for reuse and tests).
+simnet::Topology parse_topology(const Json& topo_doc);
+tracing::SyncScheme parse_sync_scheme(const std::string& name);
+
+}  // namespace metascope::workloads

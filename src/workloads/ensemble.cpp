@@ -1,0 +1,77 @@
+#include "workloads/ensemble.hpp"
+
+#include "common/error.hpp"
+
+namespace metascope::workloads {
+
+simmpi::Program build_ensemble(const EnsembleConfig& cfg) {
+  MSC_CHECK(cfg.members >= 2, "ensemble needs at least two members");
+  MSC_CHECK(cfg.ranks_per_member >= 1, "members need ranks");
+  MSC_CHECK(cfg.cycles >= 1 && cfg.timesteps >= 1,
+            "ensemble needs cycles and timesteps");
+  const int n = cfg.num_ranks();
+  simmpi::ProgramBuilder b(n);
+
+  // Member communicators and the leader communicator.
+  std::vector<CommId> member_comm;
+  std::vector<Rank> leaders;
+  for (int m = 0; m < cfg.members; ++m) {
+    std::vector<Rank> ranks;
+    for (int i = 0; i < cfg.ranks_per_member; ++i)
+      ranks.push_back(m * cfg.ranks_per_member + i);
+    leaders.push_back(ranks.front());
+    member_comm.push_back(
+        b.comms().create("member_" + std::to_string(m), ranks));
+  }
+  const CommId leaders_comm = b.comms().create("leaders", leaders);
+  const Rank root = 0;
+
+  for (Rank r = 0; r < n; ++r) {
+    auto& p = b.on(r);
+    const int member = r / cfg.ranks_per_member;
+    const bool is_leader = r == leaders[static_cast<std::size_t>(member)];
+    const bool is_root = r == root;
+    p.enter("main").enter("forecast_driver");
+    for (int cycle = 0; cycle < cfg.cycles; ++cycle) {
+      // Initial conditions for this cycle.
+      p.enter("receive_initial_conditions");
+      p.bcast(root, cfg.state_bytes);
+      p.exit();
+
+      // Member-local integration.
+      p.enter("integrate_member");
+      for (int step = 0; step < cfg.timesteps; ++step) {
+        p.enter("model_step");
+        p.compute(cfg.step_work);
+        p.exit();
+        p.enter("stability_check");
+        p.allreduce(16.0, member_comm[static_cast<std::size_t>(member)]);
+        p.exit();
+      }
+      p.exit();
+
+      // Leaders deliver forecasts to the root.
+      if (is_leader) {
+        p.enter("deliver_forecast");
+        p.gather(root, cfg.forecast_bytes, leaders_comm);
+        p.exit();
+      }
+
+      // Root statistics + next-cycle perturbations for the leaders.
+      if (is_root) {
+        p.enter("ensemble_statistics");
+        p.compute(cfg.stats_work);
+        p.exit();
+      }
+      if (is_leader) {
+        p.enter("receive_perturbations");
+        p.scatter(root, cfg.perturbation_bytes, leaders_comm);
+        p.exit();
+      }
+    }
+    p.exit().exit();  // forecast_driver, main
+  }
+  return b.take();
+}
+
+}  // namespace metascope::workloads

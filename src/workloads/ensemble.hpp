@@ -1,0 +1,47 @@
+// Ensemble forecast workload — the paper's introduction motivates
+// metacomputing with compute problems that "must be calculated under
+// real-time conditions (e.g. weather forecast)". This proxy runs an
+// ensemble of forecast members, each member a process group (naturally
+// placed one member per metahost), coordinated by a global root:
+//
+//   per cycle:
+//     root  ──Bcast──▶ everyone         (initial conditions)
+//     member groups: timesteps of compute + member-local Allreduce
+//                    (CFL/stability check)
+//     member leaders ──Gather──▶ root   (member forecasts)
+//     root: compute statistics
+//     root ──Scatter──▶ leaders         (next-cycle perturbations)
+//
+// On a heterogeneous metacomputer the slowest member gates every cycle:
+// the root shows (Grid) Early Reduce at the Gather, the fast members
+// show (Grid) Late Broadcast waiting for the root's next cycle, and the
+// member-local Allreduce shows Wait at N x N when the member spans
+// machines.
+#pragma once
+
+#include "simmpi/program.hpp"
+
+namespace metascope::workloads {
+
+struct EnsembleConfig {
+  int members{4};
+  int ranks_per_member{4};
+  int cycles{3};
+  int timesteps{10};
+  /// Nominal seconds per timestep at speed 1.0.
+  double step_work{0.005};
+  /// Root's statistics work per cycle, nominal seconds.
+  double stats_work{0.01};
+  double state_bytes{256.0 * 1024.0};    ///< Bcast payload
+  double forecast_bytes{128.0 * 1024.0}; ///< per-leader Gather payload
+  double perturbation_bytes{16.0 * 1024.0};  ///< Scatter payload
+
+  [[nodiscard]] int num_ranks() const { return members * ranks_per_member; }
+};
+
+/// Builds the program. Rank layout: member m owns ranks
+/// [m*ranks_per_member, (m+1)*ranks_per_member); rank 0 is the global
+/// root and leader of member 0; each member's lowest rank is its leader.
+simmpi::Program build_ensemble(const EnsembleConfig& cfg = {});
+
+}  // namespace metascope::workloads

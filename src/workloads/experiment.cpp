@@ -1,0 +1,24 @@
+#include "workloads/experiment.hpp"
+
+#include "common/rng.hpp"
+
+namespace metascope::workloads {
+
+ExperimentData run_experiment(const simnet::Topology& topo,
+                              const simmpi::Program& prog,
+                              const ExperimentConfig& cfg) {
+  Rng clock_rng(cfg.clock_seed);
+  ExperimentData data{
+      cfg.perfect_clocks
+          ? simnet::ClockSet::perfect(topo)
+          : simnet::ClockSet::randomized(topo, cfg.clocks, clock_rng),
+      {},
+      {}};
+  data.exec = simmpi::execute(topo, prog, cfg.engine);
+  data.traces =
+      tracing::collect_traces(topo, data.clocks, prog, data.exec,
+                              cfg.measurement);
+  return data;
+}
+
+}  // namespace metascope::workloads

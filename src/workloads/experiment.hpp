@@ -1,0 +1,41 @@
+// End-to-end experiment driver: program -> engine -> clocks -> traces.
+//
+// Composes the full measurement pipeline the way a real instrumented run
+// would: execute the application on the simulated metacomputer, stamp
+// every event through the node-local clocks, and take offset
+// measurements per the configured synchronization scheme. The result is
+// ready for clocksync::synchronize() and the analyzers.
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/engine.hpp"
+#include "simnet/clock.hpp"
+#include "tracing/measurement.hpp"
+
+namespace metascope::workloads {
+
+struct ExperimentConfig {
+  simmpi::EngineConfig engine;
+  tracing::MeasurementConfig measurement;
+  simnet::ClockCharacteristics clocks;
+  /// Seed for drawing the node clock models.
+  std::uint64_t clock_seed{42};
+  /// Identity clocks (offset 0, drift 0) — for analyzer-correctness tests
+  /// where ground truth must be exact.
+  bool perfect_clocks{false};
+};
+
+struct ExperimentData {
+  simnet::ClockSet clocks;
+  simmpi::ExecResult exec;
+  tracing::TraceCollection traces;
+};
+
+/// Runs one experiment. The topology and program must agree on the rank
+/// count.
+ExperimentData run_experiment(const simnet::Topology& topo,
+                              const simmpi::Program& prog,
+                              const ExperimentConfig& cfg = {});
+
+}  // namespace metascope::workloads

@@ -1,0 +1,161 @@
+#include "workloads/metatrace.hpp"
+
+#include "common/error.hpp"
+
+namespace metascope::workloads {
+
+namespace {
+
+/// Rank -> (x, y, z) in the Trace decomposition.
+struct Coord {
+  int x, y, z;
+};
+
+Coord coord_of(int r, const int dims[3]) {
+  Coord c;
+  c.x = r % dims[0];
+  c.y = (r / dims[0]) % dims[1];
+  c.z = r / (dims[0] * dims[1]);
+  return c;
+}
+
+int rank_of(Coord c, const int dims[3]) {
+  return c.x + dims[0] * (c.y + dims[1] * c.z);
+}
+
+}  // namespace
+
+simmpi::Program build_metatrace(const MetaTraceConfig& cfg) {
+  MSC_CHECK(cfg.dims[0] * cfg.dims[1] * cfg.dims[2] == cfg.trace_ranks,
+            "decomposition dims must multiply to trace_ranks");
+  MSC_CHECK(cfg.partrace_ranks > 0 && cfg.trace_ranks > 0,
+            "both submodels need ranks");
+  const int nt = cfg.trace_ranks;
+  const int np = cfg.partrace_ranks;
+  simmpi::ProgramBuilder b(nt + np);
+
+  const CommId world = b.comms().world();
+  std::vector<Rank> trace_members;
+  std::vector<Rank> partrace_members;
+  for (Rank r = 0; r < nt; ++r) trace_members.push_back(r);
+  for (Rank r = nt; r < nt + np; ++r) partrace_members.push_back(r);
+  const CommId comm_trace = b.comms().create("comm_trace", trace_members);
+  b.comms().create("comm_partrace", partrace_members);
+
+  // Trace rank i exchanges the field/steering with Partrace rank
+  // nt + (i % np); Partrace rank j talks to Trace rank (j - nt) % nt.
+  const auto field_partner_of_trace = [&](Rank t) { return nt + (t % np); };
+  const auto field_sources_of_partrace = [&](Rank p) {
+    std::vector<Rank> srcs;
+    for (Rank t = 0; t < nt; ++t)
+      if (field_partner_of_trace(t) == p) srcs.push_back(t);
+    return srcs;
+  };
+  const double field_bytes_per_trace_rank =
+      cfg.field_mb_total * 1e6 / static_cast<double>(nt);
+  const double trace_step_work =
+      cfg.cg_work * static_cast<double>(cfg.cg_iterations);
+  const double partrace_step_work =
+      trace_step_work * cfg.partrace_work_factor;
+
+  // ---- Trace ranks ------------------------------------------------------
+  for (Rank r = 0; r < nt; ++r) {
+    auto& t = b.on(r);
+    const Coord c = coord_of(r, cfg.dims);
+    t.enter("main").enter("trace_main");
+    t.compute(0.001);  // init
+    for (int step = 0; step < cfg.coupling_steps; ++step) {
+      t.enter("cgiteration");
+      for (int it = 0; it < cfg.cg_iterations; ++it) {
+        t.enter("finelassdt");
+        t.compute(cfg.cg_work);
+        t.exit();
+        // Halo exchange with the 3D nearest neighbours (non-periodic).
+        for (int dim = 0; dim < 3; ++dim) {
+          Coord lo = c;
+          Coord hi = c;
+          --(dim == 0 ? lo.x : dim == 1 ? lo.y : lo.z);
+          ++(dim == 0 ? hi.x : dim == 1 ? hi.y : hi.z);
+          const bool has_lo =
+              (dim == 0 ? lo.x : dim == 1 ? lo.y : lo.z) >= 0;
+          const bool has_hi =
+              (dim == 0 ? hi.x : dim == 1 ? hi.y : hi.z) < cfg.dims[dim];
+          const int tag = kHaloTagBase + dim;
+          if (has_lo && has_hi) {
+            // Exchange with both neighbours in one shot each.
+            t.sendrecv(rank_of(hi, cfg.dims), cfg.halo_bytes,
+                       rank_of(lo, cfg.dims), cfg.halo_bytes, tag, world);
+            t.sendrecv(rank_of(lo, cfg.dims), cfg.halo_bytes,
+                       rank_of(hi, cfg.dims), cfg.halo_bytes, tag, world);
+          } else if (has_hi) {
+            t.sendrecv(rank_of(hi, cfg.dims), cfg.halo_bytes,
+                       rank_of(hi, cfg.dims), cfg.halo_bytes, tag, world);
+          } else if (has_lo) {
+            t.sendrecv(rank_of(lo, cfg.dims), cfg.halo_bytes,
+                       rank_of(lo, cfg.dims), cfg.halo_bytes, tag, world);
+          }
+        }
+        if (cfg.allreduce_interval > 0 &&
+            (it + 1) % cfg.allreduce_interval == 0) {
+          // CG residual norm.
+          t.allreduce(16.0, comm_trace);
+        }
+      }
+      t.exit();  // cgiteration
+
+      // Consume the steering data of the previous step (the initial one
+      // is primed by Partrace before its first step). Placed after the
+      // CG loop so steering transfer overlaps with computation — on a
+      // heterogeneous cluster the slow CG hides it; on a homogeneous one
+      // Trace arrives early and waits for Partrace (paper Fig. 7).
+      t.enter("getsteering");
+      t.recv(field_partner_of_trace(r), kSteeringTag);
+      t.exit();
+
+      // Coupling: synchronize with Partrace, then push the field.
+      t.enter("printtolink");
+      t.barrier(world);
+      t.send(field_partner_of_trace(r), kFieldTag,
+             field_bytes_per_trace_rank);
+      t.exit();
+    }
+    t.exit().exit();  // trace_main, main
+  }
+
+  // ---- Partrace ranks ----------------------------------------------------
+  for (Rank r = nt; r < nt + np; ++r) {
+    auto& t = b.on(r);
+    const auto sources = field_sources_of_partrace(r);
+    t.enter("main").enter("partrace_main");
+    t.compute(0.001);  // init
+    // Prime the steering channel so Trace's first getsteering matches.
+    t.enter("sendsteering");
+    for (Rank src : sources) t.send(src, kSteeringTag, cfg.steering_bytes);
+    t.exit();
+    for (int step = 0; step < cfg.coupling_steps; ++step) {
+      t.enter("ReadVelFieldFromTrace");
+      t.barrier(world);
+      for (Rank src : sources)
+        t.recv(src, kFieldTag, world);
+      t.exit();
+
+      t.enter("trackparticles");
+      t.compute(partrace_step_work);
+      t.exit();
+
+      // The steering produced by the final step has no consumer (Trace
+      // reads steering at the start of the *next* step).
+      if (step + 1 < cfg.coupling_steps) {
+        t.enter("sendsteering");
+        for (Rank src : sources)
+          t.send(src, kSteeringTag, cfg.steering_bytes);
+        t.exit();
+      }
+    }
+    t.exit().exit();  // partrace_main, main
+  }
+
+  return b.take();
+}
+
+}  // namespace metascope::workloads

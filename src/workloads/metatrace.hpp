@@ -1,0 +1,61 @@
+// Synthetic reproduction of MetaTrace (paper §5), the coupled
+// multi-physics application:
+//
+//  * "Trace"    — a CG-style groundwater-flow solver on the first
+//    `trace_ranks` ranks: per coupling step it runs `cg_iterations` of
+//    compute + 3D nearest-neighbour halo exchange (function
+//    cgiteration()), with a small Allreduce every `allreduce_interval`
+//    iterations (the CG dot products);
+//  * "Partrace" — a particle tracker on the remaining ranks: per step it
+//    waits at a barrier and receives the velocity field
+//    (ReadVelFieldFromTrace()), tracks particles (trackparticles()), and
+//    sends steering data back (sendsteering());
+//  * coupling   — Trace ends each step in printtolink(): a world barrier
+//    followed by the parallel transfer of the velocity field
+//    (field_mb_total split across rank pairs); Trace consumes the
+//    previous step's steering in getsteering() at the start of each step.
+//
+// The communication skeleton reproduces the wait states of Figures 6/7:
+// heterogeneous cluster speeds turn the halo exchange into (Grid) Late
+// Sender inside cgiteration() on the faster cluster, and the coupling
+// barrier into (Grid) Wait at Barrier inside ReadVelFieldFromTrace() on
+// the Partrace side.
+#pragma once
+
+#include "simmpi/program.hpp"
+
+namespace metascope::workloads {
+
+struct MetaTraceConfig {
+  int trace_ranks{16};
+  int partrace_ranks{16};
+  /// 3D domain decomposition of Trace; dims must multiply to trace_ranks.
+  int dims[3]{4, 2, 2};
+  int coupling_steps{4};
+  int cg_iterations{30};
+  /// Nominal seconds of CG compute per iteration (speed factor 1.0).
+  double cg_work{0.004};
+  /// One small Allreduce per this many CG iterations.
+  int allreduce_interval{10};
+  double halo_bytes{32.0 * 1024.0};
+  /// Total velocity-field size pushed Trace -> Partrace per step (paper:
+  /// a chunk of 200 MB every 10-15 seconds).
+  double field_mb_total{200.0};
+  double steering_bytes{2048.0};
+  /// Nominal Partrace tracking work per step, as a fraction of the
+  /// nominal Trace CG time per step. Calibrated so that the VIOLA
+  /// experiment-1 severities land near the paper's Figure 6 values
+  /// (Grid Late Sender ~9 %, Grid Wait at Barrier ~23 %).
+  double partrace_work_factor{1.5};
+};
+
+/// Builds the MetaTrace program. Trace occupies ranks
+/// [0, trace_ranks), Partrace [trace_ranks, trace_ranks+partrace_ranks).
+simmpi::Program build_metatrace(const MetaTraceConfig& cfg = {});
+
+/// Message tags used by the coupled program (exposed for tests).
+inline constexpr int kHaloTagBase = 10;  ///< +dim (0..2)
+inline constexpr int kFieldTag = 1;
+inline constexpr int kSteeringTag = 2;
+
+}  // namespace metascope::workloads

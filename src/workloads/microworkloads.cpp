@@ -1,0 +1,68 @@
+#include "workloads/microworkloads.hpp"
+
+#include "common/error.hpp"
+
+namespace metascope::workloads {
+
+simmpi::Program late_sender_program(double gap, double bytes) {
+  simmpi::ProgramBuilder b(2);
+  b.on(0).enter("main").compute(gap).enter("do_send")
+      .send(1, 0, bytes).exit().exit();
+  b.on(1).enter("main").enter("do_recv").recv(0, 0).exit().exit();
+  return b.take();
+}
+
+simmpi::Program late_receiver_program(double gap, double bytes) {
+  simmpi::ProgramBuilder b(2);
+  b.on(0).enter("main").enter("do_send").send(1, 0, bytes).exit().exit();
+  b.on(1).enter("main").compute(gap).enter("do_recv")
+      .recv(0, 0).exit().exit();
+  return b.take();
+}
+
+namespace {
+simmpi::Program staggered_collective(const std::vector<double>& delays,
+                                     simmpi::OpKind kind, double bytes) {
+  MSC_CHECK(delays.size() >= 2, "collective needs at least two ranks");
+  simmpi::ProgramBuilder b(static_cast<int>(delays.size()));
+  for (Rank r = 0; r < static_cast<int>(delays.size()); ++r) {
+    auto& t = b.on(r);
+    t.enter("main").compute(delays[static_cast<std::size_t>(r)]);
+    t.enter("sync_point");
+    switch (kind) {
+      case simmpi::OpKind::Allreduce: t.allreduce(bytes); break;
+      case simmpi::OpKind::Barrier: t.barrier(); break;
+      case simmpi::OpKind::Reduce: t.reduce(0, bytes); break;
+      case simmpi::OpKind::Bcast: t.bcast(0, bytes); break;
+      default: MSC_CHECK(false, "unsupported microworkload collective");
+    }
+    t.exit().exit();
+  }
+  return b.take();
+}
+}  // namespace
+
+simmpi::Program wait_nxn_program(const std::vector<double>& delays,
+                                 double bytes) {
+  return staggered_collective(delays, simmpi::OpKind::Allreduce, bytes);
+}
+
+simmpi::Program wait_barrier_program(const std::vector<double>& delays) {
+  return staggered_collective(delays, simmpi::OpKind::Barrier, 0.0);
+}
+
+simmpi::Program early_reduce_program(const std::vector<double>& delays,
+                                     double bytes) {
+  MSC_CHECK(delays.front() == 0.0,
+            "early_reduce expects the root (rank 0) to enter first");
+  return staggered_collective(delays, simmpi::OpKind::Reduce, bytes);
+}
+
+simmpi::Program late_broadcast_program(int num_ranks, double root_delay,
+                                       double bytes) {
+  std::vector<double> delays(static_cast<std::size_t>(num_ranks), 0.0);
+  delays.front() = root_delay;
+  return staggered_collective(delays, simmpi::OpKind::Bcast, bytes);
+}
+
+}  // namespace metascope::workloads

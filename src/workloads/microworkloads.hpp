@@ -1,0 +1,42 @@
+// Minimal programs that construct each wait-state pattern exactly
+// (paper Figure 4). Used by the pattern unit tests and by the
+// bench_fig4_patterns harness: every builder documents the wait the
+// analyzer is expected to report.
+#pragma once
+
+#include "simmpi/program.hpp"
+
+namespace metascope::workloads {
+
+/// Figure 4(a): rank 0 computes `gap` seconds, then sends `bytes` to
+/// rank 1, which posted its receive immediately. Expected: Late Sender
+/// at rank 1 of ~`gap` seconds (grid iff the ranks sit on different
+/// metahosts).
+simmpi::Program late_sender_program(double gap, double bytes = 1024.0);
+
+/// Rank 0 sends a rendezvous-sized message immediately; rank 1 computes
+/// `gap` seconds before posting the receive. Expected: Late Receiver at
+/// rank 0 of ~`gap` seconds. `bytes` must exceed the engine's eager
+/// threshold for the sender to block.
+simmpi::Program late_receiver_program(double gap, double bytes = 1 << 20);
+
+/// Figure 4(b): every rank computes delay[i] seconds then joins an
+/// Allreduce. Expected: Wait at N x N of (max(delay) - delay[i]) at each
+/// rank.
+simmpi::Program wait_nxn_program(const std::vector<double>& delays,
+                                 double bytes = 1024.0);
+
+/// Same staggering at an MPI_Barrier. Expected: Wait at Barrier.
+simmpi::Program wait_barrier_program(const std::vector<double>& delays);
+
+/// Root (rank 0) enters a Reduce first; the others delay. Expected:
+/// Early Reduce at the root of ~(max delay) seconds.
+simmpi::Program early_reduce_program(const std::vector<double>& delays,
+                                     double bytes = 1024.0);
+
+/// Non-roots enter a Bcast immediately; the root (rank 0) delays by
+/// `root_delay`. Expected: Late Broadcast of ~root_delay at non-roots.
+simmpi::Program late_broadcast_program(int num_ranks, double root_delay,
+                                       double bytes = 1024.0);
+
+}  // namespace metascope::workloads

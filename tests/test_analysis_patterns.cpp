@@ -1,0 +1,248 @@
+// Pattern semantics: each microworkload constructs one wait state with a
+// known magnitude (paper Figure 4); the analyzer must report it at the
+// right metric, call path, and location — and classify it as "grid"
+// exactly when the communication crosses metahosts.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/microworkloads.hpp"
+
+namespace metascope::analysis {
+namespace {
+
+using simnet::LinkSpec;
+using simnet::MetahostSpec;
+using simnet::Topology;
+
+/// Two single-node metahosts with one CPU each (ranks 0 and 1 on
+/// different metahosts) — every message is "grid".
+Topology cross_topo() {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 1;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 1e9};
+  MetahostSpec b = a;
+  b.name = "B";
+  const auto ia = topo.add_metahost(a);
+  const auto ib = topo.add_metahost(b);
+  topo.set_external_link(ia, ib, LinkSpec{1000e-6, 0.0, 1e9});
+  topo.place_block(ia, 1, 1);
+  topo.place_block(ib, 1, 1);
+  return topo;
+}
+
+/// One metahost, n single-CPU nodes — nothing is "grid".
+Topology local_topo(int n) {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = n;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 1e9};
+  topo.add_metahost(a);
+  topo.place_block(MetahostId{0}, n, 1);
+  return topo;
+}
+
+AnalysisResult analyze(const Topology& topo, const simmpi::Program& prog) {
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  return analyze_serial(data.traces);
+}
+
+/// Sum of a metric's inclusive severity at one rank over all call paths.
+double rank_total(const AnalysisResult& res, MetricId m, Rank r) {
+  return res.cube.rank_inclusive_total(m, r);
+}
+
+TEST(LateSenderPattern, GridWaitMatchesGap) {
+  const double gap = 0.25;
+  const auto res =
+      analyze(cross_topo(), workloads::late_sender_program(gap));
+  const auto& ps = res.patterns;
+  // The receiver (rank 1) waited ~gap inside MPI_Recv.
+  EXPECT_NEAR(rank_total(res, ps.grid_late_sender, 1), gap, 0.002);
+  // Classified as grid: the base Late Sender node holds nothing itself.
+  EXPECT_NEAR(res.cube.metric_total(ps.late_sender), 0.0, 1e-6);
+  // Nothing at the sender.
+  EXPECT_NEAR(rank_total(res, ps.grid_late_sender, 0), 0.0, 1e-9);
+  EXPECT_NEAR(res.cube.metric_total(ps.late_receiver), 0.0, 1e-6);
+}
+
+TEST(LateSenderPattern, LocalWaitIsNotGrid) {
+  const double gap = 0.25;
+  const auto res =
+      analyze(local_topo(2), workloads::late_sender_program(gap));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(rank_total(res, ps.late_sender, 1), gap, 0.002);
+  EXPECT_NEAR(res.cube.metric_total(ps.grid_late_sender), 0.0, 1e-9);
+}
+
+TEST(LateSenderPattern, AttributedToReceiveCallPath) {
+  const auto res =
+      analyze(cross_topo(), workloads::late_sender_program(0.25));
+  const auto& ps = res.patterns;
+  bool found = false;
+  for (CallPathId c : res.cube.calls.preorder()) {
+    const double v = res.cube.cnode_inclusive(ps.grid_late_sender, c);
+    if (v > 0.2) {
+      const std::string path =
+          res.cube.calls.path_string(c, res.cube.regions);
+      EXPECT_EQ(path, "main/do_recv/MPI_Recv");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LateSenderPattern, NoFalsePositiveWhenSenderEarly) {
+  // Sender ready first: receiver never waits more than the latency.
+  const auto res =
+      analyze(cross_topo(), workloads::late_receiver_program(0.25, 100.0));
+  const auto& ps = res.patterns;
+  EXPECT_LT(res.cube.metric_inclusive_total(ps.late_sender), 0.01);
+}
+
+TEST(LateReceiverPattern, RendezvousSenderWaits) {
+  const double gap = 0.3;
+  const auto res = analyze(cross_topo(),
+                           workloads::late_receiver_program(gap, 1 << 20));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(rank_total(res, ps.grid_late_receiver, 0), gap, 0.005);
+  EXPECT_NEAR(res.cube.metric_total(ps.late_receiver), 0.0, 1e-6);
+}
+
+TEST(LateReceiverPattern, EagerSendNeverFires) {
+  // Below the eager threshold the sender returns immediately, so a late
+  // receiver costs the sender nothing.
+  const auto res = analyze(cross_topo(),
+                           workloads::late_receiver_program(0.3, 1000.0));
+  const auto& ps = res.patterns;
+  EXPECT_LT(res.cube.metric_inclusive_total(ps.late_receiver), 1e-4);
+}
+
+TEST(LateReceiverPattern, LocalVariant) {
+  const auto res = analyze(local_topo(2),
+                           workloads::late_receiver_program(0.3, 1 << 20));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(rank_total(res, ps.late_receiver, 0), 0.3, 0.005);
+  EXPECT_NEAR(res.cube.metric_total(ps.grid_late_receiver), 0.0, 1e-9);
+}
+
+TEST(WaitAtNxNPattern, EachRankWaitsForTheLast) {
+  const std::vector<double> delays{0.0, 0.1, 0.2, 0.4};
+  const auto res = analyze(local_topo(4), workloads::wait_nxn_program(delays));
+  const auto& ps = res.patterns;
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_NEAR(rank_total(res, ps.wait_nxn, r),
+                0.4 - delays[static_cast<std::size_t>(r)], 0.002)
+        << "rank " << r;
+  }
+  EXPECT_NEAR(res.cube.metric_total(ps.grid_wait_nxn), 0.0, 1e-9);
+}
+
+TEST(WaitAtNxNPattern, GridWhenCommunicatorSpansMetahosts) {
+  Topology topo = cross_topo();
+  const auto res =
+      analyze(topo, workloads::wait_nxn_program({0.0, 0.5}));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(rank_total(res, ps.grid_wait_nxn, 0), 0.5, 0.005);
+  EXPECT_NEAR(res.cube.metric_total(ps.wait_nxn), 0.0, 1e-6);
+}
+
+TEST(WaitAtBarrierPattern, MatchesStagger) {
+  const std::vector<double> delays{0.3, 0.0, 0.1, 0.2};
+  const auto res =
+      analyze(local_topo(4), workloads::wait_barrier_program(delays));
+  const auto& ps = res.patterns;
+  for (Rank r = 0; r < 4; ++r)
+    EXPECT_NEAR(rank_total(res, ps.wait_barrier, r),
+                0.3 - delays[static_cast<std::size_t>(r)], 0.002);
+}
+
+TEST(WaitAtBarrierPattern, UniformEntryMeansNoWait) {
+  const auto res = analyze(local_topo(4),
+                           workloads::wait_barrier_program({0.1, 0.1, 0.1, 0.1}));
+  const auto& ps = res.patterns;
+  EXPECT_LT(res.cube.metric_inclusive_total(ps.wait_barrier), 1e-4);
+}
+
+TEST(EarlyReducePattern, RootWaitsForLastSender) {
+  const std::vector<double> delays{0.0, 0.2, 0.5, 0.1};
+  const auto res =
+      analyze(local_topo(4), workloads::early_reduce_program(delays));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(rank_total(res, ps.early_reduce, 0), 0.5, 0.002);
+  for (Rank r = 1; r < 4; ++r)
+    EXPECT_LT(rank_total(res, ps.early_reduce, r), 1e-4);
+}
+
+TEST(LateBroadcastPattern, NonRootsWaitForRoot) {
+  const double root_delay = 0.35;
+  const auto res = analyze(
+      local_topo(4), workloads::late_broadcast_program(4, root_delay));
+  const auto& ps = res.patterns;
+  EXPECT_LT(rank_total(res, ps.late_broadcast, 0), 1e-4);
+  for (Rank r = 1; r < 4; ++r)
+    EXPECT_NEAR(rank_total(res, ps.late_broadcast, r), root_delay, 0.005);
+}
+
+TEST(PatternHierarchy, InstallShape) {
+  report::MetricTree tree;
+  const PatternSet ps = PatternSet::install(tree);
+  EXPECT_EQ(tree.def(ps.grid_late_sender).parent, ps.late_sender);
+  EXPECT_EQ(tree.def(ps.grid_wait_barrier).parent, ps.wait_barrier);
+  EXPECT_EQ(tree.def(ps.late_sender).parent, ps.p2p);
+  EXPECT_EQ(tree.def(ps.wait_nxn).parent, ps.collective);
+  EXPECT_EQ(tree.def(ps.wait_barrier).parent, ps.synchronization);
+  EXPECT_EQ(tree.def(ps.mpi).parent, ps.time);
+  EXPECT_FALSE(tree.def(ps.time).parent.valid());
+  // Names match the paper's labels.
+  EXPECT_EQ(tree.def(ps.grid_wait_nxn).name, "Grid Wait at N x N");
+  EXPECT_EQ(tree.def(ps.grid_late_sender).name, "Grid Late Sender");
+}
+
+TEST(RegionClassification, Categories) {
+  EXPECT_EQ(classify_region("main"), RegionCategory::User);
+  EXPECT_EQ(classify_region("MPI_Send"), RegionCategory::PointToPoint);
+  EXPECT_EQ(classify_region("MPI_Wait"), RegionCategory::PointToPoint);
+  EXPECT_EQ(classify_region("MPI_Barrier"),
+            RegionCategory::Synchronization);
+  EXPECT_EQ(classify_region("MPI_Allreduce"), RegionCategory::Collective);
+  EXPECT_EQ(classify_region("MPI_Bcast"), RegionCategory::Collective);
+}
+
+TEST(CollectiveKinds, Mapping) {
+  EXPECT_EQ(collective_kind("MPI_Allreduce"), CollectiveKind::NxN);
+  EXPECT_EQ(collective_kind("MPI_Alltoall"), CollectiveKind::NxN);
+  EXPECT_EQ(collective_kind("MPI_Barrier"), CollectiveKind::Barrier);
+  EXPECT_EQ(collective_kind("MPI_Bcast"), CollectiveKind::OneToN);
+  EXPECT_EQ(collective_kind("MPI_Scatter"), CollectiveKind::OneToN);
+  EXPECT_EQ(collective_kind("MPI_Reduce"), CollectiveKind::NToOne);
+  EXPECT_EQ(collective_kind("MPI_Gather"), CollectiveKind::NToOne);
+  EXPECT_EQ(collective_kind("MPI_Send"), CollectiveKind::NotACollective);
+}
+
+class GapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GapSweep, LateSenderSeverityTracksGap) {
+  const double gap = GetParam();
+  const auto res =
+      analyze(cross_topo(), workloads::late_sender_program(gap));
+  const auto& ps = res.patterns;
+  EXPECT_NEAR(res.cube.metric_inclusive_total(ps.late_sender), gap,
+              0.01 * gap + 0.003);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace metascope::analysis

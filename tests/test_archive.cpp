@@ -1,0 +1,202 @@
+#include "archive/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "tracing/epilog_io.hpp"
+#include "simnet/presets.hpp"
+#include "tracing/measurement.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope::archive {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (fs::temp_directory_path() /
+             ("msc_archive_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name()))
+                .string();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  std::string base_;
+};
+
+TEST_F(ArchiveTest, SharedFileSystemCreatesOneDirectory) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto layout = FileSystemLayout::shared(base_, topo.num_metahosts());
+  CreationStats stats;
+  const auto arch = ExperimentArchive::create(topo, layout, "exp", &stats);
+  EXPECT_EQ(arch.partial_dirs().size(), 1u);
+  EXPECT_TRUE(fs::exists(base_ + "/exp.msc"));
+  EXPECT_EQ(stats.directories_created, 1);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.broadcasts, 1);
+  EXPECT_EQ(stats.allreduces, 1);
+}
+
+TEST_F(ArchiveTest, PerMetahostLayoutCreatesPartialArchives) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  CreationStats stats;
+  const auto arch = ExperimentArchive::create(topo, layout, "exp", &stats);
+  EXPECT_EQ(arch.partial_dirs().size(), 3u);
+  for (int m = 0; m < 3; ++m)
+    EXPECT_TRUE(fs::exists(base_ + "/fs" + std::to_string(m) + "/exp.msc"));
+  EXPECT_EQ(stats.directories_created, 3);
+}
+
+TEST_F(ArchiveTest, CustomLayoutSharesSelectively) {
+  const auto topo = simnet::make_viola_experiment1();
+  // CAESAR and FH-BRS share an NFS root; FZJ is separate.
+  const auto layout = FileSystemLayout::custom(
+      {base_ + "/nfs", base_ + "/nfs", base_ + "/fzj"});
+  EXPECT_TRUE(layout.same_fs(MetahostId{0}, MetahostId{1}));
+  EXPECT_FALSE(layout.same_fs(MetahostId{0}, MetahostId{2}));
+  CreationStats stats;
+  const auto arch = ExperimentArchive::create(topo, layout, "exp", &stats);
+  EXPECT_EQ(arch.partial_dirs().size(), 2u);
+  EXPECT_EQ(stats.directories_created, 2);
+}
+
+TEST_F(ArchiveTest, ProtocolAttemptsScaleWithMetahostsNotRanks) {
+  const auto topo = simnet::make_viola_experiment1();  // 32 ranks
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  CreationStats hier;
+  ExperimentArchive::create(topo, layout, "h", &hier);
+  CreationStats naive;
+  ExperimentArchive::create_naive(topo, layout, "n", &naive);
+  EXPECT_LE(hier.create_attempts, topo.num_metahosts());
+  EXPECT_EQ(naive.create_attempts, topo.num_ranks());
+  EXPECT_LT(hier.create_attempts, naive.create_attempts);
+}
+
+TEST_F(ArchiveTest, TracesRoundTripThroughPartialArchives) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "mt");
+  arch.write_traces(topo, data.traces);
+  const auto loaded = arch.read_traces();
+  ASSERT_EQ(loaded.num_ranks(), data.traces.num_ranks());
+  for (int r = 0; r < loaded.num_ranks(); ++r)
+    EXPECT_EQ(loaded.ranks[static_cast<std::size_t>(r)],
+              data.traces.ranks[static_cast<std::size_t>(r)]);
+  EXPECT_EQ(loaded.defs.metahosts, data.traces.defs.metahosts);
+}
+
+TEST_F(ArchiveTest, EachRankTraceLandsOnItsOwnFileSystem) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "mt");
+  arch.write_traces(topo, data.traces);
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    const std::string expected = layout.root_of(topo.metahost_of(r)) +
+                                 "/mt.msc/" + tracing::trace_filename(r);
+    EXPECT_TRUE(fs::exists(expected)) << expected;
+    // And nowhere else.
+    for (int m = 0; m < topo.num_metahosts(); ++m) {
+      if (topo.metahost_of(r) == MetahostId{m}) continue;
+      const std::string wrong = layout.root_of(MetahostId{m}) + "/mt.msc/" +
+                                tracing::trace_filename(r);
+      EXPECT_FALSE(fs::exists(wrong)) << wrong;
+    }
+  }
+}
+
+TEST_F(ArchiveTest, LocalTraceAccessReadsOnlyLocalArchive) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "mt");
+  arch.write_traces(topo, data.traces);
+  for (Rank r : {0, 8, 16, 31}) {
+    const auto t = arch.read_local_trace(topo, r);
+    EXPECT_EQ(t, data.traces.ranks[static_cast<std::size_t>(r)]);
+  }
+  // Definitions are visible from every metahost.
+  for (int m = 0; m < topo.num_metahosts(); ++m) {
+    const auto defs = arch.read_defs(MetahostId{m});
+    EXPECT_EQ(defs.defs.metahosts, data.traces.defs.metahosts);
+  }
+}
+
+TEST_F(ArchiveTest, ManifestsWrittenPerMetahost) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "mt");
+  arch.write_traces(topo, data.traces);
+  for (int m = 0; m < topo.num_metahosts(); ++m) {
+    const std::string path =
+        arch.dir_of(MetahostId{m}) + "/manifest." + std::to_string(m) +
+        ".json";
+    ASSERT_TRUE(fs::exists(path));
+    const metascope::Json manifest = load_json_file(path);
+    EXPECT_EQ(manifest.at("experiment").as_string(), "mt");
+    EXPECT_EQ(manifest.at("metahost_id").as_int(), m);
+    EXPECT_EQ(manifest.at("ranks").as_array().size(),
+              topo.ranks_on(MetahostId{m}).size());
+  }
+}
+
+TEST_F(ArchiveTest, UnwritableRootAborts) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto layout = FileSystemLayout::custom(
+      {"/proc/definitely/not/writable", base_ + "/b", base_ + "/c"});
+  CreationStats stats;
+  EXPECT_THROW(ExperimentArchive::create(topo, layout, "exp", &stats),
+               Error);
+  EXPECT_TRUE(stats.aborted);
+}
+
+TEST_F(ArchiveTest, LayoutValidation) {
+  EXPECT_THROW(FileSystemLayout::shared(base_, 0), Error);
+  EXPECT_THROW(FileSystemLayout::custom({}), Error);
+  const auto layout = FileSystemLayout::shared(base_, 2);
+  EXPECT_THROW((void)layout.root_of(MetahostId{5}), Error);
+  const auto topo = simnet::make_viola_experiment1();  // 3 metahosts
+  EXPECT_THROW(ExperimentArchive::create(topo, layout, "exp"), Error);
+}
+
+TEST_F(ArchiveTest, ExistingArchiveIsReused) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto layout = FileSystemLayout::shared(base_, 3);
+  ExperimentArchive::create(topo, layout, "exp");
+  CreationStats again;
+  EXPECT_NO_THROW(ExperimentArchive::create(topo, layout, "exp", &again));
+  EXPECT_EQ(again.directories_created, 0);
+}
+
+}  // namespace
+}  // namespace metascope::archive

@@ -1,0 +1,166 @@
+// Tests for the forward-amortization repair pass (extension): after it
+// runs, no matched receive precedes its send, per-process event order is
+// intact, and untouched intervals keep their lengths.
+#include <gtest/gtest.h>
+
+#include "clocksync/amortization.hpp"
+#include "clocksync/clock_condition.hpp"
+#include "clocksync/correction.hpp"
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+
+namespace metascope::clocksync {
+namespace {
+
+tracing::TraceCollection violating_traces(tracing::SyncScheme scheme) {
+  const auto topo = simnet::make_viola_experiment1();
+  workloads::ClockBenchConfig bc;
+  bc.rounds = 300;
+  bc.pad_work = 0.05;
+  const auto prog = workloads::build_clock_bench(topo.num_ranks(), bc);
+  workloads::ExperimentConfig cfg;
+  cfg.measurement.scheme = scheme;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  synchronize(data.traces);
+  return std::move(data.traces);
+}
+
+TEST(Amortization, RemovesAllViolations) {
+  auto tc = violating_traces(tracing::SyncScheme::FlatSingle);
+  const auto before = check_clock_condition(tc);
+  ASSERT_GT(before.violations, 0u);
+  const auto rep = amortize_violations(tc);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GE(rep.repaired_receives, before.violations);
+  const auto after = check_clock_condition(tc);
+  EXPECT_EQ(after.violations, 0u);
+}
+
+TEST(Amortization, PreservesPerRankEventOrder) {
+  auto tc = violating_traces(tracing::SyncScheme::FlatSingle);
+  amortize_violations(tc);
+  for (const auto& t : tc.ranks) {
+    for (std::size_t i = 1; i < t.events.size(); ++i)
+      ASSERT_LE(t.events[i - 1].time, t.events[i].time)
+          << "rank " << t.rank << " event " << i;
+  }
+}
+
+TEST(Amortization, NoopOnCleanTraces) {
+  auto tc = violating_traces(tracing::SyncScheme::HierarchicalTwo);
+  ASSERT_EQ(check_clock_condition(tc).violations, 0u);
+  const auto snapshot = tc.ranks;
+  const auto rep = amortize_violations(tc);
+  EXPECT_EQ(rep.repaired_receives, 0u);
+  EXPECT_EQ(rep.passes, 1u);
+  EXPECT_EQ(tc.ranks, snapshot);
+}
+
+TEST(Amortization, ShiftsDecayAwayFromTheViolation) {
+  // Build a single-violation trace by hand and check the local shape.
+  tracing::TraceCollection tc;
+  tc.scheme = tracing::SyncScheme::None;
+  tc.ranks.resize(2);
+  tc.ranks[0].rank = 0;
+  tc.ranks[1].rank = 1;
+  auto ev = [](tracing::EventType type, double time) {
+    tracing::Event e;
+    e.type = type;
+    e.time = time;
+    e.region = RegionId{0};
+    return e;
+  };
+  auto msg = [&](tracing::EventType type, double time, Rank peer) {
+    tracing::Event e = ev(type, time);
+    e.peer = peer;
+    e.tag = 0;
+    return e;
+  };
+  tc.ranks[0].events = {ev(tracing::EventType::Enter, 0.0),
+                        msg(tracing::EventType::Send, 1.0, 1),
+                        ev(tracing::EventType::Exit, 2.0)};
+  tc.ranks[1].events = {ev(tracing::EventType::Enter, 0.0),
+                        msg(tracing::EventType::Recv, 0.9995, 0),  // early!
+                        ev(tracing::EventType::Exit, 1.0),
+                        ev(tracing::EventType::Enter, 1.5),
+                        ev(tracing::EventType::Exit, 2.0)};
+  AmortizationConfig cfg;
+  cfg.min_message_gap = 1e-6;
+  cfg.decay_window = 0.01;
+  const auto rep = amortize_violations(tc, cfg);
+  EXPECT_EQ(rep.repaired_receives, 1u);
+  EXPECT_TRUE(rep.converged);
+  // The receive moved past the send.
+  EXPECT_GE(tc.ranks[1].events[1].time, 1.0 + 1e-6 - 1e-12);
+  // The following Exit at 1.0 also shifted (order preserved) but less
+  // than the receive did...
+  EXPECT_GT(tc.ranks[1].events[2].time, 1.0);
+  // ...and events a full decay window later are untouched.
+  EXPECT_DOUBLE_EQ(tc.ranks[1].events[3].time, 1.5);
+  EXPECT_DOUBLE_EQ(tc.ranks[1].events[4].time, 2.0);
+  // The sender's stream is untouched.
+  EXPECT_DOUBLE_EQ(tc.ranks[0].events[1].time, 1.0);
+}
+
+TEST(Amortization, CascadingViolationsConverge) {
+  // A chain: r0 -> r1 -> r2, each receive stamped slightly before its
+  // send; repairing r1's receive pushes r1's own send, re-violating the
+  // pair r1 -> r2, which the next pass repairs.
+  tracing::TraceCollection tc;
+  tc.scheme = tracing::SyncScheme::None;
+  tc.ranks.resize(3);
+  for (int r = 0; r < 3; ++r) tc.ranks[static_cast<std::size_t>(r)].rank = r;
+  auto msg = [](tracing::EventType type, double time, Rank peer) {
+    tracing::Event e;
+    e.type = type;
+    e.time = time;
+    e.peer = peer;
+    e.tag = 0;
+    return e;
+  };
+  auto ev = [](tracing::EventType type, double time) {
+    tracing::Event e;
+    e.type = type;
+    e.time = time;
+    e.region = RegionId{0};
+    return e;
+  };
+  tc.ranks[0].events = {ev(tracing::EventType::Enter, 0.0),
+                        msg(tracing::EventType::Send, 1.0, 1),
+                        ev(tracing::EventType::Exit, 1.1)};
+  tc.ranks[1].events = {ev(tracing::EventType::Enter, 0.0),
+                        msg(tracing::EventType::Recv, 0.998, 0),
+                        msg(tracing::EventType::Send, 0.999, 2),
+                        ev(tracing::EventType::Exit, 1.1)};
+  tc.ranks[2].events = {ev(tracing::EventType::Enter, 0.0),
+                        msg(tracing::EventType::Recv, 0.9985, 1),
+                        ev(tracing::EventType::Exit, 1.1)};
+  const auto rep = amortize_violations(tc);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GE(rep.passes, 2u);
+  EXPECT_EQ(check_clock_condition(tc).violations, 0u);
+}
+
+TEST(Amortization, RequiresSynchronizedInput) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_clock_bench(32, {});
+  workloads::ExperimentConfig cfg;
+  cfg.measurement.scheme = tracing::SyncScheme::FlatTwo;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  EXPECT_THROW(amortize_violations(data.traces), Error);
+}
+
+TEST(Amortization, RejectsBadConfig) {
+  auto tc = violating_traces(tracing::SyncScheme::HierarchicalTwo);
+  AmortizationConfig cfg;
+  cfg.decay_window = 0.0;
+  EXPECT_THROW(amortize_violations(tc, cfg), Error);
+  cfg.decay_window = 0.01;
+  cfg.min_message_gap = -1.0;
+  EXPECT_THROW(amortize_violations(tc, cfg), Error);
+}
+
+}  // namespace
+}  // namespace metascope::clocksync

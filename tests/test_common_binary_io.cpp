@@ -1,0 +1,151 @@
+#include "common/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace metascope {
+namespace {
+
+TEST(BinaryIo, FixedWidthRoundTrip) {
+  BufWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_f64(-1234.5678);
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -1234.5678);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIo, VarintBoundaries) {
+  BufWriter w;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : values) w.put_varint(v);
+  BufReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIo, VarintIsCompactForSmallValues) {
+  BufWriter w;
+  w.put_varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.clear();
+  w.put_varint(300);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(BinaryIo, SignedVarintRoundTrip) {
+  BufWriter w;
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 63,
+                                 -65,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) w.put_svarint(v);
+  BufReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.get_svarint(), v);
+}
+
+TEST(BinaryIo, StringRoundTrip) {
+  BufWriter w;
+  w.put_string("");
+  w.put_string("hello world");
+  w.put_string(std::string("\x00\x01\xFF", 3));
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), std::string("\x00\x01\xFF", 3));
+}
+
+TEST(BinaryIo, ReadPastEndThrows) {
+  BufWriter w;
+  w.put_u8(1);
+  BufReader r(w.data());
+  r.get_u8();
+  EXPECT_THROW(r.get_u8(), Error);
+  EXPECT_THROW(r.get_u32(), Error);
+  EXPECT_THROW(r.get_varint(), Error);
+  EXPECT_THROW(r.get_string(), Error);
+}
+
+TEST(BinaryIo, TruncatedStringThrows) {
+  BufWriter w;
+  w.put_varint(100);  // length prefix without the payload
+  BufReader r(w.data());
+  EXPECT_THROW(r.get_string(), Error);
+}
+
+TEST(BinaryIo, MalformedVarintThrows) {
+  // 11 continuation bytes exceed the 64-bit budget.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  BufReader r(bad.data(), bad.size());
+  EXPECT_THROW(r.get_varint(), Error);
+}
+
+TEST(BinaryIo, SpecialFloats) {
+  BufWriter w;
+  w.put_f64(std::numeric_limits<double>::infinity());
+  w.put_f64(-0.0);
+  w.put_f64(std::numeric_limits<double>::denorm_min());
+  BufReader r(w.data());
+  EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(BinaryIo, FuzzRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    BufWriter w;
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = rng.next_u64() >> (rng.uniform_index(64));
+      vals.push_back(v);
+      w.put_varint(v);
+    }
+    BufReader r(w.data());
+    for (auto v : vals) ASSERT_EQ(r.get_varint(), v);
+    ASSERT_TRUE(r.at_end());
+  }
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_bin_test.bin").string();
+  std::vector<std::uint8_t> bytes{1, 2, 3, 255, 0, 128};
+  write_file_bytes(path, bytes);
+  EXPECT_EQ(read_file_bytes(path), bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(read_file_bytes("/nonexistent/x.bin"), Error);
+}
+
+}  // namespace
+}  // namespace metascope

@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace metascope {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, -1.0), Error);
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(13);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, NormalAtLeastRespectsFloor) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i)
+    EXPECT_GE(rng.normal_at_least(1.0, 5.0, 0.25), 0.25);
+}
+
+TEST(Rng, NormalAtLeastDegenerateParametersClamp) {
+  Rng rng(19);
+  // Mean far below the floor: resampling gives up and clamps.
+  EXPECT_GE(rng.normal_at_least(-100.0, 0.001, 0.5), 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(23);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, LognormalMomentMatched) {
+  Rng rng(29);
+  RunningStats s;
+  for (int i = 0; i < 400000; ++i)
+    s.add(rng.lognormal_with_moments(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng root(31);
+  Rng a = root.split(1);
+  Rng b = root.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng r1(31);
+  Rng r2(31);
+  Rng a = r1.split(42);
+  Rng b = r2.split(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng rng(GetParam());
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_GT(s.stddev(), 0.2);
+  EXPECT_LT(s.stddev(), 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 42ULL,
+                                           0xFFFFFFFFFFFFFFFFULL,
+                                           0xDEADBEEFULL));
+
+}  // namespace
+}  // namespace metascope

@@ -1,0 +1,163 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace metascope {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericallyStableAtLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 ? 1.0 : -1.0));
+  // Exact sample variance is n/(n-1); naive accumulation at offset 1e9
+  // would lose all precision instead.
+  EXPECT_NEAR(s.variance(), 1000.0 / 999.0, 1e-9);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Quantile, Endpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_EQ(quantile_of(xs, 1.0), 5.0);
+  EXPECT_EQ(quantile_of(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(quantile_of(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Quantile, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(quantile_of({}, 0.5), Error);
+  EXPECT_THROW(quantile_of({1.0}, 1.5), Error);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 8; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string r = h.render(8);
+  EXPECT_NE(r.find("########"), std::string::npos);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.rms, 0.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversSlope) {
+  Rng rng(3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(5.0 - 0.25 * static_cast<double>(i) + rng.normal(0.0, 0.5));
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, -0.25, 1e-3);
+  EXPECT_NEAR(f.intercept, 5.0, 0.1);
+  EXPECT_NEAR(f.rms, 0.5, 0.05);
+}
+
+TEST(LinearFitTest, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {1.0}), Error);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace metascope

@@ -1,0 +1,220 @@
+// End-to-end pipeline tests: application -> engine -> skewed clocks ->
+// partial archives on separate file systems -> synchronization ->
+// parallel analysis -> report. Assertions mirror the paper's headline
+// observations (§5, Figures 6/7, Tables 1-2).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/analyzer.hpp"
+#include "archive/archive.hpp"
+#include "clocksync/clock_condition.hpp"
+#include "clocksync/correction.hpp"
+#include "report/algebra.hpp"
+#include "report/cubexml.hpp"
+#include "report/render.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs the complete measurement + analysis pipeline on the VIOLA
+/// experiment-1 setup, through real partial archives.
+analysis::AnalysisResult full_pipeline(const std::string& base) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+
+  // No shared file system between the three sites.
+  const auto layout =
+      archive::FileSystemLayout::per_metahost(base, topo.num_metahosts());
+  const auto arch =
+      archive::ExperimentArchive::create(topo, layout, "metatrace");
+  arch.write_traces(topo, data.traces);
+
+  auto tc = arch.read_traces();
+  clocksync::synchronize(tc);
+  return analysis::analyze_parallel(tc);
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (fs::temp_directory_path() / "msc_integration").string();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+  std::string base_;
+};
+
+TEST_F(IntegrationTest, HeterogeneousRunShowsPaperPatterns) {
+  const auto res = full_pipeline(base_);
+  const auto& ps = res.patterns;
+  const double total = res.cube.total_time();
+  const double grid_ls =
+      res.cube.metric_inclusive_total(ps.grid_late_sender) / total;
+  const double grid_wb =
+      res.cube.metric_inclusive_total(ps.grid_wait_barrier) / total;
+  // Paper Fig. 6: Grid Late Sender 9.3 %, Grid Wait at Barrier 23.1 %.
+  // Shape assertions: both prominent, barrier wait dominates.
+  EXPECT_GT(grid_ls, 0.04);
+  EXPECT_LT(grid_ls, 0.25);
+  EXPECT_GT(grid_wb, 0.12);
+  EXPECT_LT(grid_wb, 0.40);
+  EXPECT_GT(grid_wb, grid_ls);
+}
+
+TEST_F(IntegrationTest, LateSenderConcentratedInCgIterationOnFhBrs) {
+  const auto res = full_pipeline(base_);
+  const auto& ps = res.patterns;
+  // Call-path concentration (paper: "a major fraction of the Late Sender
+  // pattern is concentrated in cgiteration()").
+  double in_cg = 0.0;
+  for (CallPathId c : res.cube.calls.preorder()) {
+    if (res.cube.regions.name(res.cube.calls.node(c).region) ==
+        "cgiteration")
+      in_cg += res.cube.cnode_subtree_inclusive(ps.grid_late_sender, c) +
+               res.cube.cnode_subtree_inclusive(ps.late_sender, c) -
+               res.cube.cnode_subtree_inclusive(ps.grid_late_sender, c);
+  }
+  const double all = res.cube.metric_inclusive_total(ps.late_sender);
+  EXPECT_GT(in_cg / all, 0.6);
+  // Location concentration: most waiting on the faster FH-BRS cluster.
+  double fh_brs = 0.0;
+  double caesar = 0.0;
+  for (Rank r = 0; r < res.cube.num_ranks(); ++r) {
+    const auto name =
+        res.cube.system.metahost(res.cube.system.metahost_of(r)).name;
+    const double v = res.cube.rank_inclusive_total(ps.late_sender, r);
+    if (name == "FH-BRS") fh_brs += v;
+    if (name == "CAESAR") caesar += v;
+  }
+  EXPECT_GT(fh_brs, 2.0 * std::max(caesar, 1e-9));
+}
+
+TEST_F(IntegrationTest, BarrierWaitConcentratedInReadVelFieldOnXd1) {
+  const auto res = full_pipeline(base_);
+  const auto& ps = res.patterns;
+  double in_readvel = 0.0;
+  for (CallPathId c : res.cube.calls.preorder()) {
+    if (res.cube.regions.name(res.cube.calls.node(c).region) ==
+        "ReadVelFieldFromTrace")
+      in_readvel +=
+          res.cube.cnode_subtree_inclusive(ps.grid_wait_barrier, c);
+  }
+  const double all = res.cube.metric_inclusive_total(ps.grid_wait_barrier);
+  EXPECT_GT(in_readvel / all, 0.8);
+}
+
+TEST_F(IntegrationTest, PairBreakdownPointsAtSlowCluster) {
+  // Extension (paper §6 future work): the per-metahost-pair breakdown
+  // shows FH-BRS waiting for CAESAR, not vice versa.
+  const auto res = full_pipeline(base_);
+  const auto& ps = res.patterns;
+  // Metahost ids: 0 = CAESAR, 1 = FH-BRS, 2 = FZJ (env order).
+  const double fh_waits_for_caesar = res.cube.pair_breakdown(
+      ps.grid_late_sender, MetahostId{1}, MetahostId{0});
+  const double caesar_waits_for_fh = res.cube.pair_breakdown(
+      ps.grid_late_sender, MetahostId{0}, MetahostId{1});
+  EXPECT_GT(fh_waits_for_caesar, 2.0 * std::max(caesar_waits_for_fh, 1e-9));
+}
+
+TEST_F(IntegrationTest, HomogeneousRunShiftsWaitStates) {
+  // Paper Fig. 7: on the homogeneous IBM machine the barrier wait
+  // collapses and the steering-path Late Sender grows.
+  const auto topo_het = simnet::make_viola_experiment1();
+  const auto topo_hom = simnet::make_ibm_power(32);
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  auto het_data = workloads::run_experiment(topo_het, prog, cfg);
+  clocksync::synchronize(het_data.traces);
+  const auto het = analysis::analyze_parallel(het_data.traces);
+  auto hom_data = workloads::run_experiment(topo_hom, prog, cfg);
+  clocksync::synchronize(hom_data.traces);
+  const auto hom = analysis::analyze_parallel(hom_data.traces);
+
+  const auto& psh = het.patterns;
+  const double het_wb =
+      het.cube.metric_inclusive_total(psh.grid_wait_barrier) /
+      het.cube.total_time();
+  const double hom_wb =
+      (hom.cube.metric_inclusive_total(hom.patterns.wait_barrier) +
+       hom.cube.metric_inclusive_total(hom.patterns.grid_wait_barrier)) /
+      hom.cube.total_time();
+  EXPECT_LT(hom_wb, 0.5 * het_wb);
+
+  auto steering_ls = [](const analysis::AnalysisResult& r) {
+    double v = 0.0;
+    for (CallPathId c : r.cube.calls.preorder()) {
+      if (r.cube.regions.name(r.cube.calls.node(c).region) ==
+          "getsteering")
+        v += r.cube.cnode_subtree_inclusive(r.patterns.late_sender, c);
+    }
+    return v / r.cube.total_time();
+  };
+  EXPECT_GT(steering_ls(hom), 2.0 * std::max(steering_ls(het), 1e-6));
+
+  // The homogeneous run has no grid patterns at all (single metahost).
+  EXPECT_NEAR(
+      hom.cube.metric_inclusive_total(hom.patterns.grid_wait_barrier), 0.0,
+      1e-12);
+  EXPECT_NEAR(
+      hom.cube.metric_inclusive_total(hom.patterns.grid_late_sender), 0.0,
+      1e-12);
+}
+
+TEST_F(IntegrationTest, SynchronizedPipelineSatisfiesClockCondition) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  clocksync::synchronize(data.traces);
+  const auto rep = clocksync::check_clock_condition(data.traces);
+  EXPECT_EQ(rep.violations, 0u);
+}
+
+TEST_F(IntegrationTest, CubeSurvivesXmlRoundTripThroughDisk) {
+  const auto res = full_pipeline(base_);
+  const std::string path = base_ + "/result.cubex";
+  report::save_cube(path, res.cube);
+  const report::Cube loaded = report::load_cube(path);
+  EXPECT_TRUE(res.cube.approx_equal(loaded, 1e-15));
+  // Rendering the reloaded cube still works.
+  const std::string out = report::render_metric_tree(loaded);
+  EXPECT_NE(out.find("Grid Wait at Barrier"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, SkewedAndPerfectClockAnalysesAgreeClosely) {
+  // The full chain (skewed clocks + hierarchical sync) must reproduce
+  // the ground-truth (perfect clock) severities to within the residual
+  // sync error times the number of waits.
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig skewed_cfg;
+  auto skewed = workloads::run_experiment(topo, prog, skewed_cfg);
+  clocksync::synchronize(skewed.traces);
+  const auto a = analysis::analyze_serial(skewed.traces);
+
+  workloads::ExperimentConfig perfect_cfg;
+  perfect_cfg.perfect_clocks = true;
+  perfect_cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto perfect = workloads::run_experiment(topo, prog, perfect_cfg);
+  const auto b = analysis::analyze_serial(perfect.traces);
+
+  const auto& ps = a.patterns;
+  for (MetricId m : {ps.grid_late_sender, ps.grid_wait_barrier}) {
+    const double va = a.cube.metric_inclusive_total(m);
+    const double vb = b.cube.metric_inclusive_total(m);
+    EXPECT_NEAR(va, vb, 0.05 * vb + 0.01) << a.cube.metrics.def(m).name;
+  }
+}
+
+}  // namespace
+}  // namespace metascope

@@ -1,0 +1,279 @@
+// Property-test sweeps across configuration space: engine timing
+// invariants under varying protocol/speed parameters, synchronization
+// guarantees under varying clock badness, cube XML round-trips for
+// randomized cubes, and CSV export consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/analyzer.hpp"
+#include "clocksync/clock_condition.hpp"
+#include "clocksync/correction.hpp"
+#include "common/rng.hpp"
+#include "report/csv.hpp"
+#include "report/cubexml.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/clockbench.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope {
+namespace {
+
+// --- engine invariants over protocol parameters ---------------------------
+
+struct EngineParam {
+  double eager_threshold;
+  double speed_b;
+};
+
+class EngineParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EngineParamSweep, TimingInvariantsHold) {
+  const auto [threshold, speed_b] = GetParam();
+  simnet::Topology topo;
+  simnet::MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 4;
+  a.cpus_per_node = 1;
+  a.internal = simnet::LinkSpec{20e-6, 0.5e-6, 1e9};
+  simnet::MetahostSpec b = a;
+  b.name = "B";
+  b.speed_factor = speed_b;
+  topo.add_metahost(a);
+  topo.add_metahost(b);
+  topo.place_block(MetahostId{0}, 4, 1);
+  topo.place_block(MetahostId{1}, 4, 1);
+
+  workloads::MetaTraceConfig mt;
+  mt.trace_ranks = 4;
+  mt.partrace_ranks = 4;
+  mt.dims[0] = 4;
+  mt.dims[1] = 1;
+  mt.dims[2] = 1;
+  mt.coupling_steps = 2;
+  mt.cg_iterations = 8;
+  mt.field_mb_total = 16.0;
+  const auto prog = workloads::build_metatrace(mt);
+
+  simmpi::EngineConfig cfg;
+  cfg.eager_threshold = threshold;
+  const auto res = simmpi::execute(topo, prog, cfg);
+
+  // Invariant 1: per-rank event streams are time-monotone.
+  for (const auto& events : res.per_rank)
+    for (std::size_t i = 1; i < events.size(); ++i)
+      ASSERT_LE(events[i - 1].time.s, events[i].time.s);
+  // Invariant 2: every send has a matching receive (count conservation).
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  for (const auto& events : res.per_rank) {
+    for (const auto& e : events) {
+      sends += e.type == simmpi::ExecEventType::Send;
+      recvs += e.type == simmpi::ExecEventType::Recv;
+    }
+  }
+  EXPECT_EQ(sends, recvs);
+  EXPECT_EQ(sends, res.stats.messages);
+  // Invariant 3: no receive before its send (true-time causality), via
+  // the trace layer's matcher on a perfect-clock collection.
+  const auto clocks = simnet::ClockSet::perfect(topo);
+  const auto tc = tracing::collect_traces(
+      topo, clocks, prog, res,
+      {tracing::SyncScheme::None, 10, 1});
+  EXPECT_EQ(clocksync::check_clock_condition(tc).violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, EngineParamSweep,
+    ::testing::Combine(::testing::Values(0.0, 1024.0, 65536.0, 1e12),
+                       ::testing::Values(0.25, 0.5, 1.0, 2.0)));
+
+// --- slower hardware can only increase total time --------------------------
+
+TEST(EngineMonotonicity, SlowerClusterNeverFinishesEarlier) {
+  double last_end = 0.0;
+  for (double speed : {2.0, 1.0, 0.5, 0.25}) {
+    simnet::Topology topo;
+    simnet::MetahostSpec a;
+    a.name = "A";
+    a.num_nodes = 8;
+    a.cpus_per_node = 1;
+    a.speed_factor = speed;
+    a.internal = simnet::LinkSpec{20e-6, 0.0, 1e9};
+    topo.add_metahost(a);
+    topo.place_block(MetahostId{0}, 8, 1);
+    workloads::MetaTraceConfig mt;
+    mt.trace_ranks = 4;
+    mt.partrace_ranks = 4;
+    mt.dims[0] = 4;
+    mt.dims[1] = 1;
+    mt.dims[2] = 1;
+    mt.coupling_steps = 2;
+    mt.cg_iterations = 5;
+    mt.field_mb_total = 8.0;
+    const auto prog = workloads::build_metatrace(mt);
+    const auto res = simmpi::execute(topo, prog);
+    EXPECT_GT(res.end_time.s, last_end);
+    last_end = res.end_time.s;
+  }
+}
+
+// --- synchronization guarantees over clock badness -------------------------
+
+class ClockBadnessSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ClockBadnessSweep, HierarchicalAlwaysSatisfiesClockCondition) {
+  const auto [max_offset, max_drift] = GetParam();
+  const auto topo = simnet::make_viola_experiment1();
+  workloads::ClockBenchConfig bc;
+  bc.rounds = 150;
+  bc.pad_work = 0.02;
+  const auto prog = workloads::build_clock_bench(topo.num_ranks(), bc);
+  workloads::ExperimentConfig cfg;
+  cfg.clocks.max_offset = max_offset;
+  cfg.clocks.max_drift = max_drift;
+  cfg.measurement.scheme = tracing::SyncScheme::HierarchicalTwo;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  clocksync::synchronize(data.traces);
+  EXPECT_EQ(clocksync::check_clock_condition(data.traces).violations, 0u)
+      << "offset " << max_offset << " drift " << max_drift;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClockSpace, ClockBadnessSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.5, 5.0),
+                       ::testing::Values(1e-6, 1e-5, 1e-4)));
+
+// --- cube XML round-trip on randomized cubes --------------------------------
+
+class CubeRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CubeRoundTripSweep, RandomCubeSurvivesXml) {
+  Rng rng(GetParam());
+  report::Cube cube;
+  // Random metric forest (first node is the root).
+  const int nmetrics = 3 + static_cast<int>(rng.uniform_index(6));
+  for (int m = 0; m < nmetrics; ++m) {
+    const MetricId parent =
+        m == 0 ? MetricId{}
+               : MetricId{static_cast<int>(rng.uniform_index(
+                     static_cast<std::uint64_t>(m)))};
+    cube.metrics.add("metric_" + std::to_string(m), "d" + std::to_string(m),
+                     parent);
+  }
+  const int nregions = 2 + static_cast<int>(rng.uniform_index(5));
+  for (int r = 0; r < nregions; ++r)
+    cube.regions.intern("region_" + std::to_string(r));
+  const int ncnodes = 1 + static_cast<int>(rng.uniform_index(8));
+  for (int c = 0; c < ncnodes; ++c) {
+    const CallPathId parent =
+        c == 0 ? CallPathId{}
+               : CallPathId{static_cast<int>(rng.uniform_index(
+                     static_cast<std::uint64_t>(c)))};
+    cube.calls.get_or_add(
+        parent, RegionId{static_cast<int>(rng.uniform_index(
+                    static_cast<std::uint64_t>(nregions)))});
+  }
+  const int nranks = 2 + static_cast<int>(rng.uniform_index(6));
+  cube.system.metahosts.push_back(
+      tracing::MetahostDef{MetahostId{0}, "M0"});
+  for (Rank r = 0; r < nranks; ++r) {
+    tracing::LocationDef loc;
+    loc.machine = MetahostId{0};
+    loc.node = NodeId{r};
+    loc.process = r;
+    cube.system.locations.push_back(loc);
+  }
+  const auto real_cnodes = static_cast<int>(cube.calls.size());
+  for (int i = 0; i < 40; ++i) {
+    cube.add(MetricId{static_cast<int>(rng.uniform_index(
+                 static_cast<std::uint64_t>(nmetrics)))},
+             CallPathId{static_cast<int>(rng.uniform_index(
+                 static_cast<std::uint64_t>(real_cnodes)))},
+             static_cast<Rank>(rng.uniform_index(
+                 static_cast<std::uint64_t>(nranks))),
+             rng.uniform(-2.0, 10.0));
+  }
+  const report::Cube loaded =
+      report::from_cube_xml(report::to_cube_xml(cube));
+  EXPECT_TRUE(cube.approx_equal(loaded, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeRoundTripSweep,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// --- CSV export --------------------------------------------------------------
+
+TEST(CsvExport, RowsMatchCubeContent) {
+  const auto topo = simnet::make_viola_experiment1();
+  workloads::MetaTraceConfig mt;
+  mt.coupling_steps = 2;
+  mt.cg_iterations = 5;
+  const auto prog = workloads::build_metatrace(mt);
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto res = analysis::analyze_serial(data.traces);
+
+  const std::string csv = report::cube_to_csv(res.cube);
+  std::istringstream is(csv);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "metric,call_path,rank,metahost,exclusive_seconds");
+  std::size_t rows = 0;
+  double sum = 0.0;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++rows;
+    sum += std::stod(line.substr(line.rfind(',') + 1));
+  }
+  EXPECT_GT(rows, 100u);
+  // The long-format dump partitions total time exactly.
+  double partition = 0.0;
+  for (std::size_t m = 0; m < res.cube.metrics.size(); ++m)
+    partition += res.cube.metric_total(MetricId{static_cast<int>(m)});
+  EXPECT_NEAR(sum, partition, 1e-5 * partition);
+}
+
+TEST(CsvExport, SummaryContainsEveryMetricOnce) {
+  const auto topo = simnet::make_ibm_power(4);
+  const auto prog = workloads::build_clock_bench(4, {});
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto res = analysis::analyze_serial(data.traces);
+  const std::string csv = report::metric_summary_csv(res.cube);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);  // header
+  std::size_t rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, res.cube.metrics.size());
+  EXPECT_NE(csv.find("Grid Late Sender"), std::string::npos);
+}
+
+TEST(CsvExport, FieldsWithCommasAreQuoted) {
+  report::Cube cube;
+  const MetricId m = cube.metrics.add("Time, total", "");
+  const RegionId r = cube.regions.intern("f<a,b>");
+  const CallPathId c = cube.calls.get_or_add(CallPathId{}, r);
+  cube.system.metahosts.push_back(tracing::MetahostDef{MetahostId{0}, "M"});
+  tracing::LocationDef loc;
+  loc.machine = MetahostId{0};
+  loc.node = NodeId{0};
+  loc.process = 0;
+  cube.system.locations.push_back(loc);
+  cube.add(m, c, 0, 1.0);
+  const std::string csv = report::cube_to_csv(cube);
+  EXPECT_NE(csv.find("\"Time, total\""), std::string::npos);
+  EXPECT_NE(csv.find("\"f<a,b>\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metascope

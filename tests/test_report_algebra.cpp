@@ -1,0 +1,149 @@
+#include "report/algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope::report {
+namespace {
+
+Cube make_cube(double time_val, double wait_val,
+               const std::string& extra_metric = "") {
+  Cube cube;
+  const MetricId time = cube.metrics.add("Time", "");
+  const MetricId wait = cube.metrics.add("Wait", "", time);
+  if (!extra_metric.empty()) cube.metrics.add(extra_metric, "", time);
+  const RegionId main_r = cube.regions.intern("main");
+  const CallPathId main_c = cube.calls.get_or_add(CallPathId{}, main_r);
+  for (Rank r = 0; r < 2; ++r) {
+    tracing::LocationDef loc;
+    loc.machine = MetahostId{0};
+    loc.node = NodeId{0};
+    loc.process = r;
+    cube.system.locations.push_back(loc);
+  }
+  cube.system.metahosts.push_back(tracing::MetahostDef{MetahostId{0}, "M"});
+  cube.add(time, main_c, 0, time_val);
+  cube.add(wait, main_c, 1, wait_val);
+  return cube;
+}
+
+TEST(Algebra, DiffSubtractsMatchingEntries) {
+  const Cube a = make_cube(5.0, 2.0);
+  const Cube b = make_cube(3.0, 2.5);
+  const Cube d = cube_diff(a, b);
+  const MetricId time = d.metrics.find("Time");
+  const MetricId wait = d.metrics.find("Wait");
+  EXPECT_DOUBLE_EQ(d.metric_total(time), 2.0);
+  EXPECT_DOUBLE_EQ(d.metric_total(wait), -0.5);
+}
+
+TEST(Algebra, DiffSelfIsZero) {
+  const Cube a = make_cube(5.0, 2.0);
+  const Cube d = cube_diff(a, a);
+  for (std::size_t m = 0; m < d.metrics.size(); ++m)
+    EXPECT_DOUBLE_EQ(d.metric_total(MetricId{static_cast<int>(m)}), 0.0);
+}
+
+TEST(Algebra, UnionStructureWhenMetricsDiffer) {
+  const Cube a = make_cube(5.0, 2.0, "OnlyInA");
+  const Cube b = make_cube(1.0, 1.0, "OnlyInB");
+  const Cube d = cube_diff(a, b);
+  EXPECT_TRUE(d.metrics.contains("OnlyInA"));
+  EXPECT_TRUE(d.metrics.contains("OnlyInB"));
+  // Entries missing from one operand count as zero.
+  EXPECT_DOUBLE_EQ(d.metric_total(d.metrics.find("OnlyInA")), 0.0);
+}
+
+TEST(Algebra, UnionStructureWhenCallPathsDiffer) {
+  Cube a = make_cube(5.0, 2.0);
+  Cube b = make_cube(1.0, 1.0);
+  const RegionId solver = b.regions.intern("solver");
+  const CallPathId extra =
+      b.calls.get_or_add(b.calls.roots().front(), solver);
+  b.add(b.metrics.find("Time"), extra, 0, 7.0);
+  const Cube d = cube_diff(a, b);
+  bool found = false;
+  for (CallPathId c : d.calls.preorder()) {
+    if (d.calls.path_string(c, d.regions) == "main/solver") {
+      found = true;
+      EXPECT_DOUBLE_EQ(d.get(d.metrics.find("Time"), c, 0), -7.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Algebra, MergeSums) {
+  const Cube a = make_cube(1.0, 2.0);
+  const Cube b = make_cube(3.0, 4.0);
+  const Cube c = make_cube(5.0, 6.0);
+  const Cube m = cube_merge({&a, &b, &c});
+  EXPECT_DOUBLE_EQ(m.metric_total(m.metrics.find("Time")), 9.0);
+  EXPECT_DOUBLE_EQ(m.metric_total(m.metrics.find("Wait")), 12.0);
+}
+
+TEST(Algebra, MeanAverages) {
+  const Cube a = make_cube(1.0, 2.0);
+  const Cube b = make_cube(3.0, 6.0);
+  const Cube m = cube_mean({&a, &b});
+  EXPECT_DOUBLE_EQ(m.metric_total(m.metrics.find("Time")), 2.0);
+  EXPECT_DOUBLE_EQ(m.metric_total(m.metrics.find("Wait")), 4.0);
+}
+
+TEST(Algebra, RejectsEmptyAndMismatchedRankCounts) {
+  EXPECT_THROW(cube_merge({}), Error);
+  const Cube a = make_cube(1.0, 2.0);
+  Cube b = make_cube(1.0, 2.0);
+  tracing::LocationDef extra;
+  extra.machine = MetahostId{0};
+  extra.node = NodeId{0};
+  extra.process = 2;
+  b.system.locations.push_back(extra);
+  EXPECT_THROW(cube_diff(a, b), Error);
+}
+
+TEST(Algebra, HetVsHomComparisonShowsPaperShift) {
+  // The paper's §5 comparison: heterogeneous (Fig. 6) minus homogeneous
+  // (Fig. 7) must show more barrier waiting in the heterogeneous run and
+  // *less* steering-path Late Sender.
+  workloads::MetaTraceConfig mt;
+  const auto prog_het = workloads::build_metatrace(mt);
+  const auto prog_hom = workloads::build_metatrace(mt);
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+
+  const auto het_data = workloads::run_experiment(
+      simnet::make_viola_experiment1(), prog_het, cfg);
+  const auto het = analysis::analyze_serial(het_data.traces);
+
+  const auto hom_data = workloads::run_experiment(
+      simnet::make_ibm_power(32), prog_hom, cfg);
+  const auto hom = analysis::analyze_serial(hom_data.traces);
+
+  const Cube d = cube_diff(het.cube, hom.cube);
+  const double barrier_shift =
+      d.metric_total(d.metrics.find("Grid Wait at Barrier")) +
+      d.metric_total(d.metrics.find("Wait at Barrier"));
+  EXPECT_GT(barrier_shift, 0.0);
+
+  // Steering-path Late Sender: larger in the homogeneous run.
+  const MetricId ls = d.metrics.find("Late Sender");
+  const MetricId gls = d.metrics.find("Grid Late Sender");
+  double steering_shift = 0.0;
+  for (CallPathId c : d.calls.preorder()) {
+    const std::string path = d.calls.path_string(c, d.regions);
+    if (path.find("getsteering") != std::string::npos) {
+      steering_shift += d.cnode_subtree_inclusive(ls, c) +
+                        d.cnode_subtree_inclusive(gls, c);
+    }
+  }
+  EXPECT_LT(steering_shift, 0.0);
+}
+
+}  // namespace
+}  // namespace metascope::report

@@ -1,0 +1,172 @@
+#include "report/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace metascope::report {
+namespace {
+
+/// Small hand-built cube: 2 metrics (parent/child), 3 call paths
+/// (main -> {solve -> MPI_Recv}), 2 ranks.
+struct Fixture {
+  Cube cube;
+  MetricId time;
+  MetricId wait;
+  CallPathId main_c;
+  CallPathId solve_c;
+  CallPathId recv_c;
+
+  Fixture() {
+    time = cube.metrics.add("Time", "total");
+    wait = cube.metrics.add("Wait", "waiting", time);
+    const RegionId main_r = cube.regions.intern("main");
+    const RegionId solve_r = cube.regions.intern("solve");
+    const RegionId recv_r = cube.regions.intern("MPI_Recv");
+    main_c = cube.calls.get_or_add(CallPathId{}, main_r);
+    solve_c = cube.calls.get_or_add(main_c, solve_r);
+    recv_c = cube.calls.get_or_add(solve_c, recv_r);
+    for (Rank r = 0; r < 2; ++r) {
+      tracing::LocationDef loc;
+      loc.machine = MetahostId{0};
+      loc.node = NodeId{r};
+      loc.process = r;
+      cube.system.locations.push_back(loc);
+    }
+    cube.system.metahosts.push_back(
+        tracing::MetahostDef{MetahostId{0}, "M"});
+  }
+};
+
+TEST(MetricTreeTest, AddAndNavigate) {
+  MetricTree t;
+  const MetricId a = t.add("A", "");
+  const MetricId b = t.add("B", "", a);
+  const MetricId c = t.add("C", "", a);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.children(a).size(), 2u);
+  EXPECT_EQ(t.roots().size(), 1u);
+  const auto pre = t.preorder();
+  ASSERT_EQ(pre.size(), 3u);
+  EXPECT_EQ(pre[0], a);
+  EXPECT_EQ(pre[1], b);
+  EXPECT_EQ(pre[2], c);
+  EXPECT_EQ(t.find("B"), b);
+  EXPECT_TRUE(t.contains("C"));
+  EXPECT_FALSE(t.contains("D"));
+}
+
+TEST(MetricTreeTest, RejectsDuplicatesAndBadParents) {
+  MetricTree t;
+  t.add("A", "");
+  EXPECT_THROW(t.add("A", ""), Error);
+  EXPECT_THROW(t.add("B", "", MetricId{42}), Error);
+  EXPECT_THROW((void)t.find("missing"), Error);
+  EXPECT_THROW((void)t.def(MetricId{9}), Error);
+}
+
+TEST(CallTreeTest, GetOrAddDeduplicates) {
+  CallTree t;
+  const CallPathId a = t.get_or_add(CallPathId{}, RegionId{0});
+  const CallPathId b = t.get_or_add(a, RegionId{1});
+  const CallPathId b2 = t.get_or_add(a, RegionId{1});
+  EXPECT_EQ(b, b2);
+  EXPECT_EQ(t.size(), 2u);
+  // Same region under a different parent is a different path.
+  const CallPathId c = t.get_or_add(CallPathId{}, RegionId{1});
+  EXPECT_NE(b, c);
+}
+
+TEST(CallTreeTest, PathString) {
+  Fixture f;
+  EXPECT_EQ(f.cube.calls.path_string(f.recv_c, f.cube.regions),
+            "main/solve/MPI_Recv");
+  EXPECT_EQ(f.cube.calls.path_string(f.main_c, f.cube.regions), "main");
+}
+
+TEST(CubeTest, AddAndGet) {
+  Fixture f;
+  f.cube.add(f.time, f.main_c, 0, 1.5);
+  f.cube.add(f.time, f.main_c, 0, 0.5);
+  EXPECT_DOUBLE_EQ(f.cube.get(f.time, f.main_c, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f.cube.get(f.time, f.main_c, 1), 0.0);
+  EXPECT_DOUBLE_EQ(f.cube.get(f.wait, f.recv_c, 1), 0.0);
+}
+
+TEST(CubeTest, MetricAggregation) {
+  Fixture f;
+  f.cube.add(f.time, f.main_c, 0, 3.0);
+  f.cube.add(f.wait, f.recv_c, 0, 1.0);
+  f.cube.add(f.wait, f.recv_c, 1, 2.0);
+  EXPECT_DOUBLE_EQ(f.cube.metric_total(f.time), 3.0);
+  EXPECT_DOUBLE_EQ(f.cube.metric_total(f.wait), 3.0);
+  EXPECT_DOUBLE_EQ(f.cube.metric_inclusive_total(f.time), 6.0);
+  EXPECT_DOUBLE_EQ(f.cube.total_time(), 6.0);
+}
+
+TEST(CubeTest, CallAggregation) {
+  Fixture f;
+  f.cube.add(f.time, f.solve_c, 0, 1.0);
+  f.cube.add(f.wait, f.recv_c, 0, 2.0);
+  // cnode_inclusive: metric subtree at one cnode.
+  EXPECT_DOUBLE_EQ(f.cube.cnode_inclusive(f.time, f.solve_c), 1.0);
+  EXPECT_DOUBLE_EQ(f.cube.cnode_inclusive(f.time, f.recv_c), 2.0);
+  // call-subtree inclusive rolls children up.
+  EXPECT_DOUBLE_EQ(f.cube.cnode_subtree_inclusive(f.time, f.main_c), 3.0);
+  EXPECT_DOUBLE_EQ(f.cube.cnode_subtree_inclusive(f.wait, f.main_c), 2.0);
+}
+
+TEST(CubeTest, RankAggregation) {
+  Fixture f;
+  f.cube.add(f.time, f.main_c, 0, 1.0);
+  f.cube.add(f.wait, f.recv_c, 0, 0.25);
+  f.cube.add(f.time, f.main_c, 1, 2.0);
+  EXPECT_DOUBLE_EQ(f.cube.rank_inclusive_total(f.time, 0), 1.25);
+  EXPECT_DOUBLE_EQ(f.cube.rank_inclusive_total(f.time, 1), 2.0);
+  EXPECT_DOUBLE_EQ(f.cube.rank_inclusive_total(f.wait, 0), 0.25);
+}
+
+TEST(CubeTest, NegativeAdjustmentsAllowed) {
+  Fixture f;
+  f.cube.add(f.time, f.main_c, 0, 5.0);
+  f.cube.add(f.time, f.main_c, 0, -2.0);
+  EXPECT_DOUBLE_EQ(f.cube.get(f.time, f.main_c, 0), 3.0);
+}
+
+TEST(CubeTest, PairBreakdown) {
+  Fixture f;
+  f.cube.add_pair_breakdown(f.wait, MetahostId{0}, MetahostId{1}, 1.5);
+  f.cube.add_pair_breakdown(f.wait, MetahostId{0}, MetahostId{1}, 0.5);
+  EXPECT_DOUBLE_EQ(
+      f.cube.pair_breakdown(f.wait, MetahostId{0}, MetahostId{1}), 2.0);
+  // Direction matters.
+  EXPECT_DOUBLE_EQ(
+      f.cube.pair_breakdown(f.wait, MetahostId{1}, MetahostId{0}), 0.0);
+}
+
+TEST(CubeTest, ApproxEqual) {
+  Fixture a;
+  Fixture b;
+  a.cube.add(a.time, a.main_c, 0, 1.0);
+  b.cube.add(b.time, b.main_c, 0, 1.0 + 1e-15);
+  EXPECT_TRUE(a.cube.approx_equal(b.cube, 1e-12));
+  b.cube.add(b.wait, b.recv_c, 1, 0.1);
+  EXPECT_FALSE(a.cube.approx_equal(b.cube, 1e-12));
+}
+
+TEST(CubeTest, ApproxEqualRejectsDifferentTrees) {
+  Fixture a;
+  Fixture b;
+  b.cube.metrics.add("Extra", "");
+  EXPECT_FALSE(a.cube.approx_equal(b.cube, 1.0));
+}
+
+TEST(CubeTest, BoundsChecked) {
+  Fixture f;
+  EXPECT_THROW(f.cube.add(MetricId{77}, f.main_c, 0, 1.0), Error);
+  EXPECT_THROW(f.cube.add(f.time, CallPathId{77}, 0, 1.0), Error);
+  EXPECT_THROW(f.cube.add(f.time, f.main_c, 9, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace metascope::report

@@ -1,0 +1,135 @@
+#include "report/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+#include "workloads/microworkloads.hpp"
+
+namespace metascope::report {
+namespace {
+
+tracing::TraceCollection metatrace_traces() {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  return std::move(data.traces);
+}
+
+TEST(Profile, VisitCountsMatchWorkloadStructure) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  const workloads::MetaTraceConfig mt;  // defaults used above
+  const auto find = [&](const std::string& name) -> const RegionProfile& {
+    return prof.regions[static_cast<std::size_t>(
+        tc.defs.regions.find(name).get())];
+  };
+  // cgiteration: once per step per trace rank.
+  EXPECT_EQ(find("cgiteration").visits,
+            static_cast<std::uint64_t>(mt.coupling_steps * mt.trace_ranks));
+  // finelassdt: once per CG iteration per step per trace rank.
+  EXPECT_EQ(find("finelassdt").visits,
+            static_cast<std::uint64_t>(mt.coupling_steps *
+                                       mt.cg_iterations * mt.trace_ranks));
+  // ReadVelFieldFromTrace: once per step per partrace rank.
+  EXPECT_EQ(
+      find("ReadVelFieldFromTrace").visits,
+      static_cast<std::uint64_t>(mt.coupling_steps * mt.partrace_ranks));
+  // main: once per rank.
+  EXPECT_EQ(find("main").visits,
+            static_cast<std::uint64_t>(mt.trace_ranks + mt.partrace_ranks));
+}
+
+TEST(Profile, InclusiveNestingInvariant) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  for (const auto& rp : prof.regions) {
+    EXPECT_GE(rp.inclusive, rp.exclusive - 1e-9)
+        << tc.defs.regions.name(rp.region);
+    EXPECT_GE(rp.exclusive, -1e-9);
+  }
+  // 'main' wraps everything: its inclusive time is the total time.
+  const auto& main_rp = prof.regions[static_cast<std::size_t>(
+      tc.defs.regions.find("main").get())];
+  EXPECT_NEAR(main_rp.inclusive, prof.total_time, 1e-6);
+}
+
+TEST(Profile, ExclusiveSumsToTotal) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  double sum = 0.0;
+  for (const auto& rp : prof.regions) sum += rp.exclusive;
+  EXPECT_NEAR(sum, prof.total_time, 1e-6);
+}
+
+TEST(Profile, MessageScopesSplitCorrectly) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  // The field transfer crosses FH-BRS/CAESAR -> FZJ: inter-metahost
+  // traffic must dominate byte-wise (200 MB per coupling step).
+  EXPECT_GT(prof.scope(MessageScope::InterMetahost).bytes,
+            prof.scope(MessageScope::IntraMetahost).bytes);
+  // Halo exchange between same-node ranks exists on FH-BRS (4/node).
+  EXPECT_GT(prof.scope(MessageScope::IntraNode).count, 0u);
+  // Gaps are positive in a synchronized/perfect-clock trace.
+  for (int s = 0; s < 3; ++s)
+    EXPECT_GT(prof.messages[s].transfer_gap.min(), 0.0);
+}
+
+TEST(Profile, MetahostMatrixMatchesFieldTransfers) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  // Metahost ids: 0 CAESAR, 1 FH-BRS, 2 FZJ. Field: Trace->Partrace =
+  // 200 MB per step * steps, split evenly over trace ranks 0..15
+  // (8 FH-BRS + 8 CAESAR).
+  const workloads::MetaTraceConfig mt;
+  const double field_total =
+      mt.field_mb_total * 1e6 * mt.coupling_steps;
+  const double to_fzj = prof.metahost_bytes[0][2] + prof.metahost_bytes[1][2];
+  EXPECT_NEAR(to_fzj, field_total, 0.01 * field_total);
+  // Partrace only sends tiny steering back.
+  EXPECT_LT(prof.metahost_bytes[2][0] + prof.metahost_bytes[2][1],
+            0.01 * field_total);
+}
+
+TEST(Profile, SizeHistogramBucketsByPowerOfTwo) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  // Halo is 32 KiB: bucket log2(32768) = 15.
+  EXPECT_GT(prof.size_histogram[15], 0u);
+  // Field chunks are 12.5 MB: log2 = 23.
+  EXPECT_GT(prof.size_histogram[23], 0u);
+  std::uint64_t total = 0;
+  for (auto c : prof.size_histogram) total += c;
+  EXPECT_EQ(total, prof.messages[0].count + prof.messages[1].count +
+                       prof.messages[2].count);
+}
+
+TEST(Profile, RenderListsHotRegions) {
+  const auto tc = metatrace_traces();
+  const auto prof = profile_traces(tc);
+  const std::string out = render_profile(prof, tc.defs);
+  EXPECT_NE(out.find("finelassdt"), std::string::npos);
+  EXPECT_NE(out.find("inter-metahost"), std::string::npos);
+  EXPECT_NE(out.find("FZJ"), std::string::npos);
+  EXPECT_NE(out.find("communication matrix"), std::string::npos);
+}
+
+TEST(Profile, TinyTrace) {
+  const auto topo = simnet::make_ibm_power(2);
+  const auto prog = workloads::late_sender_program(0.1);
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto prof = profile_traces(data.traces);
+  EXPECT_EQ(prof.scope(MessageScope::IntraNode).count, 1u);
+  EXPECT_EQ(prof.scope(MessageScope::InterMetahost).count, 0u);
+}
+
+}  // namespace
+}  // namespace metascope::report

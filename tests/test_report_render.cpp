@@ -1,0 +1,143 @@
+#include "report/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope::report {
+namespace {
+
+const analysis::AnalysisResult& metatrace_result() {
+  static const analysis::AnalysisResult res = [] {
+    const auto topo = simnet::make_viola_experiment1();
+    const auto prog = workloads::build_metatrace();
+    workloads::ExperimentConfig cfg;
+    cfg.perfect_clocks = true;
+    cfg.measurement.scheme = tracing::SyncScheme::None;
+    const auto data = workloads::run_experiment(topo, prog, cfg);
+    return analysis::analyze_serial(data.traces);
+  }();
+  return res;
+}
+
+TEST(SeverityMarker, Bands) {
+  EXPECT_EQ(severity_marker(0.0), '.');
+  EXPECT_EQ(severity_marker(0.0005), '.');
+  EXPECT_EQ(severity_marker(0.005), 'o');
+  EXPECT_EQ(severity_marker(0.05), 'O');
+  EXPECT_EQ(severity_marker(0.5), '#');
+}
+
+TEST(RenderMetricTree, ListsPatternsWithPercentages) {
+  const auto& res = metatrace_result();
+  const std::string out = render_metric_tree(res.cube);
+  EXPECT_NE(out.find("Time"), std::string::npos);
+  EXPECT_NE(out.find("Grid Late Sender"), std::string::npos);
+  EXPECT_NE(out.find("Grid Wait at Barrier"), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+  // Root is always 100%.
+  EXPECT_NE(out.find("100.0%"), std::string::npos);
+}
+
+TEST(RenderMetricTree, CutoffHidesTinyMetrics) {
+  const auto& res = metatrace_result();
+  RenderOptions opts;
+  opts.cutoff_fraction = 0.9;  // hide everything but the root
+  const std::string out = render_metric_tree(res.cube, opts);
+  EXPECT_NE(out.find("Time"), std::string::npos);
+  EXPECT_EQ(out.find("Late Sender"), std::string::npos);
+}
+
+TEST(RenderCallTree, ShowsHotPaths) {
+  const auto& res = metatrace_result();
+  const std::string out =
+      render_call_tree(res.cube, res.patterns.grid_wait_barrier);
+  // The paper's hot spot: the barrier inside ReadVelFieldFromTrace.
+  EXPECT_NE(out.find("ReadVelFieldFromTrace"), std::string::npos);
+  EXPECT_NE(out.find("MPI_Barrier"), std::string::npos);
+}
+
+TEST(RenderSystemTree, GroupsByMetahost) {
+  const auto& res = metatrace_result();
+  const std::string out =
+      render_system_tree(res.cube, res.patterns.grid_wait_barrier);
+  EXPECT_NE(out.find("FZJ"), std::string::npos);
+  EXPECT_NE(out.find("CAESAR"), std::string::npos);
+  EXPECT_NE(out.find("FH-BRS"), std::string::npos);
+  EXPECT_NE(out.find("node"), std::string::npos);
+  EXPECT_NE(out.find("rank"), std::string::npos);
+}
+
+TEST(RenderReport, ThreePanelsComposed) {
+  const auto& res = metatrace_result();
+  RenderOptions opts;
+  opts.selected_metric = "Grid Late Sender";
+  opts.show_seconds = true;
+  const std::string out = render_report(res.cube, opts);
+  EXPECT_NE(out.find("Metric tree"), std::string::npos);
+  EXPECT_NE(out.find("Call tree"), std::string::npos);
+  EXPECT_NE(out.find("System tree"), std::string::npos);
+  EXPECT_NE(out.find("(0."), std::string::npos);  // seconds shown
+}
+
+TEST(RenderReport, SelectedCallPathRestrictsSystemTree) {
+  const auto& res = metatrace_result();
+  RenderOptions opts;
+  opts.selected_metric = "Grid Wait at Barrier";
+  opts.selected_call_path =
+      "main/partrace_main/ReadVelFieldFromTrace/MPI_Barrier";
+  const std::string out = render_report(res.cube, opts);
+  EXPECT_NE(out.find("at call path"), std::string::npos);
+}
+
+TEST(RenderReport, UnknownSelectionsThrow) {
+  const auto& res = metatrace_result();
+  RenderOptions opts;
+  opts.selected_metric = "No Such Metric";
+  EXPECT_THROW(render_report(res.cube, opts), Error);
+  RenderOptions opts2;
+  opts2.selected_call_path = "no/such/path";
+  EXPECT_THROW(render_report(res.cube, opts2), Error);
+}
+
+TEST(RenderPairBreakdown, ListsWaiterPeerPairs) {
+  const auto& res = metatrace_result();
+  const std::string out =
+      render_pair_breakdown(res.cube, res.patterns.grid_late_sender);
+  // FH-BRS waits for CAESAR inside cgiteration (paper Fig. 6a).
+  EXPECT_NE(out.find("FH-BRS <- CAESAR"), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(RenderPairBreakdown, EmptyForPatternsWithoutGridHits) {
+  const auto& res = metatrace_result();
+  // Grid Late Broadcast never fires in MetaTrace.
+  const std::string out =
+      render_pair_breakdown(res.cube, res.patterns.grid_late_broadcast);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RenderSystemTree, PaperHotSpotConcentratedOnXd1) {
+  // Fig. 6(b): Grid Wait at Barrier at ReadVelFieldFromTrace lands on
+  // FZJ's XD1 (the Partrace ranks 16..31).
+  const auto& res = metatrace_result();
+  double fzj = 0.0;
+  double rest = 0.0;
+  for (Rank r = 0; r < res.cube.num_ranks(); ++r) {
+    const double v =
+        res.cube.rank_inclusive_total(res.patterns.grid_wait_barrier, r);
+    if (res.cube.system.metahost(res.cube.system.metahost_of(r)).name ==
+        "FZJ")
+      fzj += v;
+    else
+      rest += v;
+  }
+  EXPECT_GT(fzj, 5.0 * std::max(rest, 1e-9));
+}
+
+}  // namespace
+}  // namespace metascope::report

@@ -1,0 +1,125 @@
+#include "report/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/microworkloads.hpp"
+
+namespace metascope::report {
+namespace {
+
+tracing::TraceCollection simple_traces() {
+  const auto topo = simnet::make_ibm_power(2);
+  const auto prog = workloads::late_sender_program(0.5, 1024.0);
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  return std::move(data.traces);
+}
+
+TEST(Timeline, RendersOneRowPerRankPlusLegend) {
+  const auto tc = simple_traces();
+  const std::string out = render_timeline(tc);
+  std::istringstream is(out);
+  std::string line;
+  int rows = 0;
+  bool legend = false;
+  while (std::getline(is, line)) {
+    if (line.find(" |") != std::string::npos &&
+        line.find("Timeline") == std::string::npos)
+      ++rows;
+    if (line.rfind("legend:", 0) == 0) legend = true;
+  }
+  EXPECT_EQ(rows, 2);
+  EXPECT_TRUE(legend);
+}
+
+TEST(Timeline, LateSenderVisible) {
+  // Rank 0 computes 0.5 s inside "main" (letter) then MPI_Send ('s');
+  // rank 1 sits in MPI_Recv ('r') for nearly the whole window.
+  const auto tc = simple_traces();
+  TimelineOptions opts;
+  opts.width = 50;
+  const std::string out = render_timeline(tc, opts);
+  std::istringstream is(out);
+  std::string header;
+  std::string row0;
+  std::string row1;
+  std::getline(is, header);
+  std::getline(is, row0);
+  std::getline(is, row1);
+  // Rank 1's row is dominated by 'r' (blocked receive).
+  const auto r_count = std::count(row1.begin(), row1.end(), 'r');
+  EXPECT_GT(r_count, 40);
+  // Rank 0's row shows the user region for most of the time, 's' briefly
+  // at the end at most.
+  const auto s_count = std::count(row0.begin(), row0.end(), 's');
+  EXPECT_LT(s_count, 3);
+  EXPECT_GT(std::count(row0.begin(), row0.end(), 'a') +
+                std::count(row0.begin(), row0.end(), 'b'),
+            40);
+}
+
+TEST(Timeline, WindowRestriction) {
+  const auto tc = simple_traces();
+  TimelineOptions opts;
+  opts.begin = 0.0;
+  opts.end = 0.1;  // only the compute phase
+  opts.width = 20;
+  const std::string out = render_timeline(tc, opts);
+  // No 's' yet in this early window.
+  std::istringstream is(out);
+  std::string header;
+  std::string row0;
+  std::getline(is, header);
+  std::getline(is, row0);
+  EXPECT_EQ(row0.find('s'), std::string::npos);
+}
+
+TEST(Timeline, RankSelection) {
+  const auto tc = simple_traces();
+  TimelineOptions opts;
+  opts.ranks = {1};
+  const std::string out = render_timeline(tc, opts);
+  EXPECT_EQ(out.find("   0 |"), std::string::npos);
+  EXPECT_NE(out.find("   1 |"), std::string::npos);
+}
+
+TEST(Timeline, MpiGlyphsInLegend) {
+  const auto topo = simnet::make_ibm_power(4);
+  const auto prog = workloads::wait_barrier_program({0.0, 0.1, 0.2, 0.3});
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  const std::string out = render_timeline(data.traces);
+  EXPECT_NE(out.find("B=MPI_Barrier"), std::string::npos);
+  // Rank 0 (earliest at the barrier) waits longest: most 'B' columns.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);  // header
+  std::vector<long> b_counts;
+  for (int r = 0; r < 4; ++r) {
+    std::getline(is, line);
+    b_counts.push_back(std::count(line.begin(), line.end(), 'B'));
+  }
+  EXPECT_GT(b_counts[0], b_counts[3]);
+}
+
+TEST(Timeline, InvalidOptionsThrow) {
+  const auto tc = simple_traces();
+  TimelineOptions opts;
+  opts.width = 0;
+  EXPECT_THROW(render_timeline(tc, opts), Error);
+  TimelineOptions opts2;
+  opts2.ranks = {7};
+  EXPECT_THROW(render_timeline(tc, opts2), Error);
+}
+
+}  // namespace
+}  // namespace metascope::report

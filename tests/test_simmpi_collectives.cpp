@@ -1,0 +1,214 @@
+#include "simmpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simmpi/engine.hpp"
+
+namespace metascope::simmpi {
+namespace {
+
+using simnet::LinkSpec;
+using simnet::MetahostSpec;
+using simnet::Topology;
+
+Topology flat_topo(int nodes) {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = nodes;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 1e9};
+  topo.add_metahost(a);
+  topo.place_block(MetahostId{0}, nodes, 1);
+  return topo;
+}
+
+Communicator world_of(int n) {
+  CommSet cs(n);
+  return cs.get(cs.world());
+}
+
+std::vector<TrueTime> times(std::initializer_list<double> xs) {
+  std::vector<TrueTime> out;
+  for (double x : xs) out.push_back(TrueTime{x});
+  return out;
+}
+
+TEST(CommProfile, SingleRankDegenerates) {
+  Topology topo = flat_topo(2);
+  CommSet cs(2);
+  const CommId solo = cs.create("solo", {0});
+  const auto p = profile_comm(topo, cs.get(solo));
+  EXPECT_EQ(p.rounds, 0);
+}
+
+TEST(CommProfile, RoundsAreLogTwo) {
+  Topology topo = flat_topo(16);
+  CommSet cs(16);
+  EXPECT_EQ(profile_comm(topo, cs.get(cs.world())).rounds, 4);
+  const CommId five = cs.create("five", {0, 1, 2, 3, 4});
+  EXPECT_EQ(profile_comm(topo, cs.get(five)).rounds, 3);
+  const CommId pair = cs.create("pair", {0, 1});
+  EXPECT_EQ(profile_comm(topo, cs.get(pair)).rounds, 1);
+}
+
+TEST(CommProfile, WorstLinkIsExternalWhenSpanning) {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 2;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 2e9};
+  MetahostSpec b = a;
+  b.name = "B";
+  const auto ia = topo.add_metahost(a);
+  const auto ib = topo.add_metahost(b);
+  topo.set_external_link(ia, ib, LinkSpec{900e-6, 0.0, 1e9});
+  topo.place_block(ia, 2, 1);
+  topo.place_block(ib, 2, 1);
+  CommSet cs(4);
+  const auto p = profile_comm(topo, cs.get(cs.world()));
+  EXPECT_DOUBLE_EQ(p.max_latency, 900e-6);
+  EXPECT_DOUBLE_EQ(p.min_bandwidth, 1e9);
+}
+
+TEST(Collectives, BarrierReleasesAfterLastEnter) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Barrier, topo, comm, prof,
+                                 times({0.0, 0.3, 0.1, 0.2}), kNoRank, 0.0,
+                                 1e-6);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(t.exit[static_cast<std::size_t>(i)].s, 0.3);
+    EXPECT_DOUBLE_EQ(t.exit[0].s, t.exit[static_cast<std::size_t>(i)].s);
+    EXPECT_DOUBLE_EQ(t.sent_bytes[static_cast<std::size_t>(i)], 0.0);
+  }
+  // Barrier cost = rounds * latency + overhead.
+  EXPECT_NEAR(t.exit[0].s, 0.3 + 2 * 10e-6 + 1e-6, 1e-12);
+}
+
+TEST(Collectives, AllreduceMovesPayloadEveryRound) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const double bytes = 1e6;
+  const auto t =
+      time_collective(OpKind::Allreduce, topo, comm, prof,
+                      times({0.0, 0.0, 0.0, 0.0}), kNoRank, bytes, 1e-6);
+  EXPECT_NEAR(t.exit[0].s, 2 * (10e-6 + bytes / 1e9) + 1e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(t.sent_bytes[2], bytes);
+  EXPECT_DOUBLE_EQ(t.recvd_bytes[2], bytes);
+}
+
+TEST(Collectives, AlltoallScalesWithMembers) {
+  Topology topo = flat_topo(8);
+  const Communicator comm = world_of(8);
+  const auto prof = profile_comm(topo, comm);
+  const double bytes = 1e5;
+  const auto t =
+      time_collective(OpKind::Alltoall, topo, comm, prof,
+                      std::vector<TrueTime>(8, TrueTime{0.0}), kNoRank,
+                      bytes, 0.0);
+  EXPECT_NEAR(t.exit[0].s, 3 * 10e-6 + 7 * bytes / 1e9, 1e-12);
+  EXPECT_DOUBLE_EQ(t.sent_bytes[0], 7 * bytes);
+}
+
+TEST(Collectives, BcastLateRootDelaysEveryoneElse) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Bcast, topo, comm, prof,
+                                 times({0.5, 0.0, 0.0, 0.0}), /*root=*/0,
+                                 1000.0, 1e-6);
+  // Non-roots cannot leave before the root's data reaches them.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_GT(t.exit[static_cast<std::size_t>(i)].s, 0.5);
+  // Root leaves soon after entering.
+  EXPECT_LT(t.exit[0].s, 0.51);
+  EXPECT_DOUBLE_EQ(t.recvd_bytes[1], 1000.0);
+  EXPECT_DOUBLE_EQ(t.sent_bytes[0], 1000.0);
+}
+
+TEST(Collectives, BcastEarlyRootMeansNoWait) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Bcast, topo, comm, prof,
+                                 times({0.0, 0.4, 0.4, 0.4}), /*root=*/0,
+                                 1000.0, 1e-6);
+  for (int i = 1; i < 4; ++i)
+    EXPECT_NEAR(t.exit[static_cast<std::size_t>(i)].s, 0.4 + 1e-6, 1e-7);
+}
+
+TEST(Collectives, ReduceRootWaitsForLastContribution) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Reduce, topo, comm, prof,
+                                 times({0.0, 0.1, 0.7, 0.2}), /*root=*/0,
+                                 1000.0, 1e-6);
+  EXPECT_GT(t.exit[0].s, 0.7);
+  // Non-roots fire and forget.
+  EXPECT_LT(t.exit[1].s, 0.2);
+  EXPECT_LT(t.exit[3].s, 0.3);
+  EXPECT_DOUBLE_EQ(t.recvd_bytes[0], 1000.0);
+  EXPECT_DOUBLE_EQ(t.sent_bytes[1], 1000.0);
+}
+
+TEST(Collectives, GatherRootCollectsAllBlocks) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Gather, topo, comm, prof,
+                                 std::vector<TrueTime>(4, TrueTime{0.0}),
+                                 /*root=*/2, 1000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(t.recvd_bytes[2], 3000.0);
+}
+
+TEST(Collectives, ScatterMirrorsBcastShape) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  const auto t = time_collective(OpKind::Scatter, topo, comm, prof,
+                                 times({0.3, 0.0, 0.0, 0.0}), /*root=*/0,
+                                 500.0, 1e-6);
+  for (int i = 1; i < 4; ++i)
+    EXPECT_GT(t.exit[static_cast<std::size_t>(i)].s, 0.3);
+  EXPECT_DOUBLE_EQ(t.sent_bytes[0], 3 * 500.0);
+}
+
+TEST(Collectives, SubCommunicatorTiming) {
+  // Collective on a sub-communicator only involves its members.
+  Topology topo = flat_topo(4);
+  CommSet cs(4);
+  const CommId sub = cs.create("pair", {1, 3});
+  const auto prof = profile_comm(topo, cs.get(sub));
+  const auto t = time_collective(OpKind::Barrier, topo, cs.get(sub), prof,
+                                 times({0.0, 0.6}), kNoRank, 0.0, 1e-6);
+  ASSERT_EQ(t.exit.size(), 2u);
+  EXPECT_NEAR(t.exit[0].s, 0.6 + 10e-6 + 1e-6, 1e-12);
+}
+
+TEST(Collectives, MismatchedEnterSizeThrows) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  EXPECT_THROW(time_collective(OpKind::Barrier, topo, comm, prof,
+                               times({0.0, 0.1}), kNoRank, 0.0, 1e-6),
+               Error);
+}
+
+TEST(Collectives, RootedWithoutRootThrows) {
+  Topology topo = flat_topo(4);
+  const Communicator comm = world_of(4);
+  const auto prof = profile_comm(topo, comm);
+  EXPECT_THROW(time_collective(OpKind::Bcast, topo, comm, prof,
+                               std::vector<TrueTime>(4, TrueTime{0.0}),
+                               kNoRank, 0.0, 1e-6),
+               Error);
+}
+
+}  // namespace
+}  // namespace metascope::simmpi

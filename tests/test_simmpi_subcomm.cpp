@@ -1,0 +1,141 @@
+// Engine-level sub-communicator semantics: disjoint groups must progress
+// independently (a slow group's barrier cannot stall another group), and
+// nested communicator patterns (world + groups + leader comm) must
+// resolve — the structure every coupled multi-physics code relies on.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "common/error.hpp"
+#include "simmpi/engine.hpp"
+#include "workloads/experiment.hpp"
+
+namespace metascope::simmpi {
+namespace {
+
+using simnet::LinkSpec;
+using simnet::MetahostSpec;
+using simnet::Topology;
+
+Topology flat8() {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 8;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 1e9};
+  topo.add_metahost(a);
+  topo.place_block(MetahostId{0}, 8, 1);
+  return topo;
+}
+
+TEST(SubComm, DisjointBarriersDoNotCouple) {
+  ProgramBuilder b(8);
+  const CommId left = b.comms().create("left", {0, 1, 2, 3});
+  const CommId right = b.comms().create("right", {4, 5, 6, 7});
+  // Left group barriers immediately; right group computes 1 s first.
+  for (Rank r = 0; r < 4; ++r) b.on(r).enter("m").barrier(left).exit();
+  for (Rank r = 4; r < 8; ++r)
+    b.on(r).enter("m").compute(1.0).barrier(right).exit();
+  const auto res = execute(flat8(), b.take());
+  // Left finishes in microseconds, independent of the right group.
+  for (Rank r = 0; r < 4; ++r) EXPECT_LT(res.rank_end[r].s, 0.001);
+  for (Rank r = 4; r < 8; ++r) EXPECT_GT(res.rank_end[r].s, 1.0);
+}
+
+TEST(SubComm, GroupCollectivesInterleaveWithWorldCollectives) {
+  ProgramBuilder b(8);
+  const CommId left = b.comms().create("left", {0, 1, 2, 3});
+  const CommId right = b.comms().create("right", {4, 5, 6, 7});
+  for (Rank r = 0; r < 8; ++r) {
+    auto& c = b.on(r);
+    c.enter("m");
+    c.allreduce(64.0, r < 4 ? left : right);  // group phase
+    c.barrier();                              // world phase
+    c.allreduce(64.0, r < 4 ? left : right);  // group phase again
+    c.exit();
+  }
+  EXPECT_NO_THROW(execute(flat8(), b.take()));
+}
+
+TEST(SubComm, LeaderCommBridgesGroups) {
+  // Leaders (0, 4) gather to rank 0 after their group barriers.
+  ProgramBuilder b(8);
+  const CommId left = b.comms().create("left", {0, 1, 2, 3});
+  const CommId right = b.comms().create("right", {4, 5, 6, 7});
+  const CommId leaders = b.comms().create("leaders", {0, 4});
+  for (Rank r = 0; r < 8; ++r) {
+    auto& c = b.on(r);
+    c.enter("m");
+    if (r >= 4) c.compute(0.5);  // right group is slower
+    c.barrier(r < 4 ? left : right);
+    if (r == 0 || r == 4) c.gather(0, 1024.0, leaders);
+    c.exit();
+  }
+  const auto res = execute(flat8(), b.take());
+  // Rank 0 (gather root) must wait for the slow group's leader.
+  EXPECT_GT(res.rank_end[0].s, 0.5);
+  // Non-leader left ranks finish immediately after their own barrier.
+  EXPECT_LT(res.rank_end[1].s, 0.001);
+}
+
+TEST(SubComm, RootMustBeGlobalRankInsideComm) {
+  ProgramBuilder b(8);
+  const CommId right = b.comms().create("right", {4, 5, 6, 7});
+  // Root 5 is a member: fine even though its comm-local rank is 1.
+  for (Rank r = 4; r < 8; ++r) b.on(r).enter("m").bcast(5, 64.0, right).exit();
+  for (Rank r = 0; r < 4; ++r) b.on(r).enter("m").exit();
+  const auto prog = b.take();
+  EXPECT_NO_THROW(execute(flat8(), prog));
+}
+
+TEST(SubComm, SameSequenceDifferentCommsMatchIndependently) {
+  // Messages with an identical tag on different communicators must not
+  // cross-match: the communicator is part of the matching channel.
+  ProgramBuilder b2(4);
+  const CommId sub = b2.comms().create("sub", {0, 1});
+  b2.on(0).enter("m").send(1, 7, 100.0).send(1, 7, 200.0, sub).exit();
+  b2.on(1).enter("m").recv(0, 7, sub).recv(0, 7).exit();
+  b2.on(2).enter("m").exit();
+  b2.on(3).enter("m").exit();
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 4;
+  a.cpus_per_node = 1;
+  a.internal = LinkSpec{10e-6, 0.0, 1e9};
+  topo.add_metahost(a);
+  topo.place_block(MetahostId{0}, 4, 1);
+  const auto res = execute(topo, b2.take());
+  // Receiver's first recv (sub comm) gets the 200-byte message even
+  // though the 100-byte world message was sent first.
+  const auto& events = res.per_rank[1];
+  std::vector<double> recv_bytes;
+  for (const auto& e : events)
+    if (e.type == ExecEventType::Recv) recv_bytes.push_back(e.bytes);
+  ASSERT_EQ(recv_bytes.size(), 2u);
+  EXPECT_DOUBLE_EQ(recv_bytes[0], 200.0);
+  EXPECT_DOUBLE_EQ(recv_bytes[1], 100.0);
+}
+
+TEST(SubComm, AnalysisSeesGroupCollectiveInstances) {
+  // Two disjoint 4-rank allreduces = two collective instances, not one.
+  ProgramBuilder b(8);
+  const CommId left = b.comms().create("left", {0, 1, 2, 3});
+  const CommId right = b.comms().create("right", {4, 5, 6, 7});
+  for (Rank r = 0; r < 8; ++r)
+    b.on(r).enter("m").allreduce(64.0, r < 4 ? left : right).exit();
+  const auto prog = b.take();
+  const auto topo = flat8();
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto res = analysis::analyze_serial(data.traces);
+  EXPECT_EQ(res.stats.collective_instances, 2u);
+  const auto par = analysis::analyze_parallel(data.traces);
+  EXPECT_EQ(par.stats.collective_instances, 2u);
+  EXPECT_TRUE(res.cube.approx_equal(par.cube, 1e-12));
+}
+
+}  // namespace
+}  // namespace metascope::simmpi

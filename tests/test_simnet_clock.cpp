@@ -1,0 +1,142 @@
+#include "simnet/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simnet/presets.hpp"
+
+namespace metascope::simnet {
+namespace {
+
+TEST(ClockModel, LinearMapping) {
+  const ClockModel c(0.5, 1e-5);
+  EXPECT_DOUBLE_EQ(c.at(TrueTime{0.0}).s, 0.5);
+  EXPECT_DOUBLE_EQ(c.at(TrueTime{10.0}).s, 0.5 + 10.0 * (1.0 + 1e-5));
+}
+
+TEST(ClockModel, InverseIsExact) {
+  const ClockModel c(-0.3, -2e-5);
+  for (double t : {0.0, 1.0, 100.0, 12345.6789}) {
+    const LocalTime l = c.at(TrueTime{t});
+    EXPECT_NEAR(c.true_of(l).s, t, 1e-9);
+  }
+}
+
+TEST(ClockModel, DriftSeparatesClocksOverTime) {
+  const ClockModel a(0.0, 1e-5);
+  const ClockModel b(0.0, -1e-5);
+  const double gap_1s = a.at(TrueTime{1.0}).s - b.at(TrueTime{1.0}).s;
+  const double gap_100s = a.at(TrueTime{100.0}).s - b.at(TrueTime{100.0}).s;
+  EXPECT_NEAR(gap_1s, 2e-5, 1e-12);
+  EXPECT_NEAR(gap_100s, 2e-3, 1e-10);
+}
+
+TEST(ClockModel, ReadQuantizesToGranularity) {
+  Rng rng(1);
+  const ClockModel c(0.0, 0.0, /*granularity=*/1e-6, /*read_noise=*/0.0);
+  const LocalTime l = c.read(TrueTime{1.23456789}, rng);
+  const double ticks = l.s / 1e-6;
+  EXPECT_NEAR(ticks, std::floor(ticks + 1e-9), 1e-6);
+  EXPECT_NEAR(l.s, 1.234567, 1e-9);
+}
+
+TEST(ClockModel, ReadNoiseIsBounded) {
+  Rng rng(2);
+  const ClockModel c(0.0, 0.0, 0.0, /*read_noise=*/1e-7);
+  for (int i = 0; i < 1000; ++i) {
+    const LocalTime l = c.read(TrueTime{5.0}, rng);
+    EXPECT_NEAR(l.s, 5.0, 1e-6);  // 10 sigma
+  }
+}
+
+TEST(ClockSet, PerfectClocksAreIdentity) {
+  const Topology topo = make_viola_experiment1();
+  const ClockSet cs = ClockSet::perfect(topo);
+  EXPECT_EQ(cs.size(), static_cast<std::size_t>(topo.num_nodes()));
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    EXPECT_DOUBLE_EQ(cs.clock_of(topo, r).at(TrueTime{7.5}).s, 7.5);
+  }
+}
+
+TEST(ClockSet, RandomizedWithinCharacteristics) {
+  const Topology topo = make_viola_experiment1();
+  ClockCharacteristics chars;
+  chars.max_offset = 0.25;
+  chars.max_drift = 5e-6;
+  Rng rng(42);
+  const ClockSet cs = ClockSet::randomized(topo, chars, rng);
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const auto& c = cs.node_clock(NodeId{n});
+    EXPECT_LE(std::abs(c.offset()), 0.25);
+    EXPECT_LE(std::abs(c.drift()), 5e-6);
+  }
+}
+
+TEST(ClockSet, SameNodeSharesClock) {
+  const Topology topo = make_viola_experiment1();
+  ClockCharacteristics chars;
+  Rng rng(42);
+  const ClockSet cs = ClockSet::randomized(topo, chars, rng);
+  // Ranks 0 and 1 are on the same FH-BRS node.
+  EXPECT_DOUBLE_EQ(cs.clock_of(topo, 0).offset(),
+                   cs.clock_of(topo, 1).offset());
+}
+
+TEST(ClockSet, DifferentNodesUsuallyDiffer) {
+  const Topology topo = make_viola_experiment1();
+  ClockCharacteristics chars;
+  Rng rng(42);
+  const ClockSet cs = ClockSet::randomized(topo, chars, rng);
+  EXPECT_NE(cs.clock_of(topo, 0).offset(), cs.clock_of(topo, 4).offset());
+}
+
+TEST(ClockSet, GlobalClockMetahostSharesOneModel) {
+  const Topology topo = make_ibm_power(32);
+  ClockCharacteristics chars;
+  Rng rng(7);
+  const ClockSet cs = ClockSet::randomized(topo, chars, rng);
+  // Single node anyway, but exercise the shared-model path with a
+  // custom multi-node global-clock machine.
+  Topology multi;
+  MetahostSpec spec;
+  spec.name = "GC";
+  spec.num_nodes = 4;
+  spec.cpus_per_node = 1;
+  spec.has_global_clock = true;
+  multi.add_metahost(spec);
+  multi.place_block(MetahostId{0}, 4, 1);
+  Rng rng2(7);
+  const ClockSet cs2 = ClockSet::randomized(multi, chars, rng2);
+  for (int n = 1; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(cs2.node_clock(NodeId{0}).offset(),
+                     cs2.node_clock(NodeId{n}).offset());
+    EXPECT_DOUBLE_EQ(cs2.node_clock(NodeId{0}).drift(),
+                     cs2.node_clock(NodeId{n}).drift());
+  }
+  (void)cs;
+}
+
+TEST(ClockSet, DeterministicForSameSeed) {
+  const Topology topo = make_viola_experiment1();
+  ClockCharacteristics chars;
+  Rng a(5);
+  Rng b(5);
+  const ClockSet ca = ClockSet::randomized(topo, chars, a);
+  const ClockSet cb = ClockSet::randomized(topo, chars, b);
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(ca.node_clock(NodeId{n}).offset(),
+                     cb.node_clock(NodeId{n}).offset());
+  }
+}
+
+TEST(ClockSet, BadNodeThrows) {
+  const Topology topo = make_ibm_power(4);
+  const ClockSet cs = ClockSet::perfect(topo);
+  EXPECT_THROW((void)cs.node_clock(NodeId{99}), Error);
+}
+
+}  // namespace
+}  // namespace metascope::simnet

@@ -1,0 +1,106 @@
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "simnet/presets.hpp"
+
+namespace metascope::simnet {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topo_(make_viola_experiment1()) {}
+  Topology topo_;
+};
+
+TEST_F(NetworkTest, DelayMomentsMatchLinkSpec) {
+  Network net(topo_, Rng(1));
+  // Ranks 16 and 18 sit on different FZJ nodes (internal link).
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(net.sample_delay(16, 18, 0.0));
+  EXPECT_NEAR(s.mean(), 21.5e-6, 0.5e-6);
+  EXPECT_NEAR(s.stddev(), 0.814e-6, 0.1e-6);
+}
+
+TEST_F(NetworkTest, BandwidthTermAddsLinearly) {
+  Network net(topo_, Rng(2));
+  const double bytes = 1e6;
+  RunningStats small;
+  RunningStats big;
+  for (int i = 0; i < 5000; ++i) {
+    small.add(net.sample_delay(16, 18, 0.0));
+    big.add(net.sample_delay(16, 18, bytes));
+  }
+  const auto& link = topo_.link_between(16, 18);
+  EXPECT_NEAR(big.mean() - small.mean(), bytes / link.bandwidth_bps,
+              0.1e-6);
+}
+
+TEST_F(NetworkTest, DelaysNeverBelowPhysicalFloor) {
+  Network net(topo_, Rng(3));
+  for (int i = 0; i < 50000; ++i) {
+    // route factor >= 1 - asymmetry, so the floor scales accordingly.
+    const double floor =
+        0.25 * topo_.link_between(0, 16).latency_mean * (1.0 - 0.08);
+    EXPECT_GE(net.sample_delay(0, 16, 0.0), floor);
+  }
+}
+
+TEST_F(NetworkTest, ExternalRouteFactorsAsymmetric) {
+  Network net(topo_, Rng(4));
+  // Rank 0 (FH-BRS) <-> rank 16 (FZJ): external link with 8% asymmetry.
+  const double fwd = net.route_factor(0, 16);
+  const double bwd = net.route_factor(16, 0);
+  EXPECT_NE(fwd, bwd);
+  EXPECT_GE(fwd, 0.92);
+  EXPECT_LE(fwd, 1.08);
+  EXPECT_GE(bwd, 0.92);
+  EXPECT_LE(bwd, 1.08);
+}
+
+TEST_F(NetworkTest, InternalRoutesSymmetricWithoutAsymmetry) {
+  Network net(topo_, Rng(5));
+  // FZJ internal link has no configured asymmetry.
+  EXPECT_DOUBLE_EQ(net.route_factor(16, 18), 1.0);
+  EXPECT_DOUBLE_EQ(net.route_factor(18, 16), 1.0);
+}
+
+TEST_F(NetworkTest, RouteFactorsStableAcrossInstances) {
+  Network a(topo_, Rng(6), 123);
+  Network b(topo_, Rng(999), 123);
+  EXPECT_DOUBLE_EQ(a.route_factor(0, 16), b.route_factor(0, 16));
+  Network c(topo_, Rng(6), 124);
+  EXPECT_NE(a.route_factor(0, 16), c.route_factor(0, 16));
+}
+
+TEST_F(NetworkTest, RouteFactorIsPerNodeNotPerRank) {
+  Network net(topo_, Rng(7));
+  // Ranks 16 and 17 share an FZJ node; their external routes to rank 0
+  // must coincide.
+  EXPECT_DOUBLE_EQ(net.route_factor(16, 0), net.route_factor(17, 0));
+}
+
+TEST_F(NetworkTest, ExpectedDelayIncludesRouteFactor) {
+  Network net(topo_, Rng(8));
+  const auto& link = topo_.link_between(0, 16);
+  EXPECT_NEAR(net.expected_delay(0, 16, 0.0),
+              link.latency_mean * net.route_factor(0, 16), 1e-12);
+}
+
+TEST_F(NetworkTest, SampleStreamsDeterministic) {
+  Network a(topo_, Rng(11));
+  Network b(topo_, Rng(11));
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.sample_delay(0, 16, 100.0),
+                     b.sample_delay(0, 16, 100.0));
+}
+
+TEST_F(NetworkTest, LatencyStddevPassThrough) {
+  Network net(topo_, Rng(12));
+  EXPECT_DOUBLE_EQ(net.latency_stddev(16, 18), 0.814e-6);
+  EXPECT_DOUBLE_EQ(net.latency_stddev(0, 16), 3.86e-6);
+}
+
+}  // namespace
+}  // namespace metascope::simnet

@@ -1,0 +1,173 @@
+#include "simnet/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+
+namespace metascope::simnet {
+namespace {
+
+Topology two_host_topo() {
+  Topology topo;
+  MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 2;
+  a.cpus_per_node = 2;
+  a.internal = LinkSpec{microseconds(20), microseconds(1), 1e9};
+  MetahostSpec b;
+  b.name = "B";
+  b.num_nodes = 3;
+  b.cpus_per_node = 1;
+  b.internal = LinkSpec{microseconds(50), microseconds(2), 0.5e9};
+  const MetahostId ia = topo.add_metahost(a);
+  const MetahostId ib = topo.add_metahost(b);
+  topo.set_external_link(ia, ib,
+                         LinkSpec{milliseconds(1), microseconds(4), 1.25e9});
+  topo.place_block(ia, 2, 2);  // ranks 0..3
+  topo.place_block(ib, 3, 1);  // ranks 4..6
+  return topo;
+}
+
+TEST(Topology, CountsAndPlacement) {
+  const Topology t = two_host_topo();
+  EXPECT_EQ(t.num_metahosts(), 2);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_ranks(), 7);
+  EXPECT_EQ(t.metahost_of(0).get(), 0);
+  EXPECT_EQ(t.metahost_of(3).get(), 0);
+  EXPECT_EQ(t.metahost_of(4).get(), 1);
+  EXPECT_EQ(t.placement(0).node, t.placement(1).node);
+  EXPECT_NE(t.placement(1).node, t.placement(2).node);
+  EXPECT_EQ(t.placement(5).cpu, 0);
+}
+
+TEST(Topology, LinkClassification) {
+  const Topology t = two_host_topo();
+  EXPECT_EQ(t.link_class(0, 1), LinkClass::IntraNode);
+  EXPECT_EQ(t.link_class(0, 2), LinkClass::Internal);
+  EXPECT_EQ(t.link_class(0, 4), LinkClass::External);
+  EXPECT_TRUE(t.same_node(0, 1));
+  EXPECT_FALSE(t.same_node(0, 2));
+  EXPECT_TRUE(t.same_metahost(0, 2));
+  EXPECT_FALSE(t.same_metahost(3, 4));
+}
+
+TEST(Topology, LinkSpecSelection) {
+  const Topology t = two_host_topo();
+  EXPECT_DOUBLE_EQ(t.link_between(0, 2).latency_mean, microseconds(20));
+  EXPECT_DOUBLE_EQ(t.link_between(4, 5).latency_mean, microseconds(50));
+  EXPECT_DOUBLE_EQ(t.link_between(0, 4).latency_mean, milliseconds(1));
+  // Intra-node default link.
+  EXPECT_LT(t.link_between(0, 1).latency_mean, microseconds(1));
+}
+
+TEST(Topology, ExpectedDelayIncludesBandwidth) {
+  const Topology t = two_host_topo();
+  const LinkSpec& l = t.link_between(0, 4);
+  EXPECT_DOUBLE_EQ(l.expected_delay(1.25e9), milliseconds(1) + 1.0);
+}
+
+TEST(Topology, RanksOnAndLocalMasters) {
+  const Topology t = two_host_topo();
+  const auto on_a = t.ranks_on(MetahostId{0});
+  EXPECT_EQ(on_a.size(), 4u);
+  EXPECT_EQ(on_a.front(), 0);
+  const auto masters = t.local_masters();
+  ASSERT_EQ(masters.size(), 2u);
+  EXPECT_EQ(masters[0], 0);
+  EXPECT_EQ(masters[1], 4);
+}
+
+TEST(Topology, MetahostOfNode) {
+  const Topology t = two_host_topo();
+  EXPECT_EQ(t.metahost_of_node(NodeId{0}).get(), 0);
+  EXPECT_EQ(t.metahost_of_node(NodeId{4}).get(), 1);
+  EXPECT_THROW((void)t.metahost_of_node(NodeId{99}), Error);
+}
+
+TEST(Topology, RejectsBadInputs) {
+  Topology t;
+  MetahostSpec bad;
+  bad.name = "";
+  EXPECT_THROW(t.add_metahost(bad), Error);
+  MetahostSpec ok;
+  ok.name = "X";
+  ok.num_nodes = 1;
+  ok.cpus_per_node = 1;
+  const MetahostId id = t.add_metahost(ok);
+  EXPECT_THROW(t.place_block(id, 2, 1), Error);   // too many nodes
+  EXPECT_THROW(t.place_block(id, 1, 2), Error);   // too many cpus
+  EXPECT_THROW(t.set_external_link(id, id, {}), Error);
+  t.place_block(id, 1, 1);
+  EXPECT_THROW(t.place_block(id, 1, 1), Error);   // nodes exhausted
+  EXPECT_THROW((void)t.placement(5), Error);
+  EXPECT_THROW((void)t.metahost(MetahostId{7}), Error);
+}
+
+TEST(Topology, RepeatedBlocksLandOnFreshNodes) {
+  Topology t;
+  MetahostSpec spec;
+  spec.name = "X";
+  spec.num_nodes = 4;
+  spec.cpus_per_node = 2;
+  const MetahostId id = t.add_metahost(spec);
+  t.place_block(id, 2, 2);
+  t.place_block(id, 2, 1);
+  EXPECT_EQ(t.num_ranks(), 6);
+  EXPECT_NE(t.placement(4).node, t.placement(0).node);
+  EXPECT_NE(t.placement(4).node, t.placement(2).node);
+}
+
+TEST(Topology, DescribeMentionsEveryMetahost) {
+  const Topology t = two_host_topo();
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("A"), std::string::npos);
+  EXPECT_NE(d.find("B"), std::string::npos);
+  EXPECT_NE(d.find("2 metahosts"), std::string::npos);
+}
+
+TEST(ViolaPreset, MatchesPaperTestbed) {
+  ViolaIds ids;
+  const Topology v = make_viola(&ids);
+  EXPECT_EQ(v.num_metahosts(), 3);
+  EXPECT_EQ(v.metahost(ids.caesar).name, "CAESAR");
+  EXPECT_EQ(v.metahost(ids.caesar).num_nodes, 32);
+  EXPECT_EQ(v.metahost(ids.caesar).cpus_per_node, 2);
+  EXPECT_EQ(v.metahost(ids.fh_brs).num_nodes, 6);
+  EXPECT_EQ(v.metahost(ids.fh_brs).cpus_per_node, 4);
+  EXPECT_EQ(v.metahost(ids.fzj).num_nodes, 60);
+  // Table 1 moments.
+  EXPECT_NEAR(v.metahost(ids.fzj).internal.latency_mean, 21.5e-6, 1e-9);
+  EXPECT_NEAR(v.metahost(ids.fzj).internal.latency_stddev, 0.814e-6, 1e-10);
+  EXPECT_NEAR(v.metahost(ids.fh_brs).internal.latency_mean, 44.4e-6, 1e-9);
+  const LinkSpec& wan = v.external_link(ids.fzj, ids.fh_brs);
+  EXPECT_NEAR(wan.latency_mean, 988e-6, 1e-9);
+  EXPECT_NEAR(wan.latency_stddev, 3.86e-6, 1e-10);
+  // The paper observed Trace kernels running ~2x faster on FH-BRS.
+  EXPECT_NEAR(v.metahost(ids.fh_brs).speed_factor /
+                  v.metahost(ids.caesar).speed_factor,
+              2.0, 1e-12);
+}
+
+TEST(ViolaPreset, Experiment1PlacementMatchesTable3) {
+  ViolaIds ids;
+  const Topology t = make_viola_experiment1(&ids);
+  EXPECT_EQ(t.num_ranks(), 32);
+  // Trace: FH-BRS 2x4 = ranks 0..7, CAESAR 4x2 = ranks 8..15.
+  for (Rank r = 0; r < 8; ++r) EXPECT_EQ(t.metahost_of(r), ids.fh_brs);
+  for (Rank r = 8; r < 16; ++r) EXPECT_EQ(t.metahost_of(r), ids.caesar);
+  // Partrace: FZJ XD1 8x2 = ranks 16..31.
+  for (Rank r = 16; r < 32; ++r) EXPECT_EQ(t.metahost_of(r), ids.fzj);
+}
+
+TEST(IbmPreset, SingleMetahostWithGlobalClock) {
+  const Topology t = make_ibm_power(32);
+  EXPECT_EQ(t.num_metahosts(), 1);
+  EXPECT_EQ(t.num_ranks(), 32);
+  EXPECT_TRUE(t.metahost(MetahostId{0}).has_global_clock);
+  EXPECT_TRUE(t.same_node(0, 31));
+}
+
+}  // namespace
+}  // namespace metascope::simnet

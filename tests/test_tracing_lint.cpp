@@ -1,0 +1,147 @@
+// Failure-injection tests for the trace linter and the dumper: every
+// category of corruption must be caught with a precise message.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "tracing/lint.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/metatrace.hpp"
+
+namespace metascope::tracing {
+namespace {
+
+TraceCollection healthy() {
+  const auto topo = simnet::make_viola_experiment1();
+  workloads::MetaTraceConfig mt;
+  mt.coupling_steps = 2;
+  mt.cg_iterations = 5;
+  const auto prog = workloads::build_metatrace(mt);
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  return std::move(data.traces);
+}
+
+bool mentions(const LintReport& rep, const std::string& needle) {
+  for (const auto& p : rep.problems)
+    if (p.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Lint, HealthyCollectionPasses) {
+  const auto tc = healthy();
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.summary(), "trace collection is well-formed");
+}
+
+TEST(Lint, DetectsBackwardsTimestamps) {
+  auto tc = healthy();
+  tc.ranks[3].events[10].time = tc.ranks[3].events[9].time - 1.0;
+  const auto rep = lint_collection(tc);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(mentions(rep, "timestamp goes backwards"));
+}
+
+TEST(Lint, DetectsUnbalancedNesting) {
+  auto tc = healthy();
+  // Drop the final Exit of rank 0.
+  tc.ranks[0].events.pop_back();
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "unclosed region"));
+}
+
+TEST(Lint, DetectsOrphanExit) {
+  auto tc = healthy();
+  Event e;
+  e.type = EventType::Exit;
+  e.time = -1e9;
+  tc.ranks[0].events.insert(tc.ranks[0].events.begin(), e);
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "Exit without Enter"));
+}
+
+TEST(Lint, DetectsUnknownRegion) {
+  auto tc = healthy();
+  for (auto& e : tc.ranks[1].events) {
+    if (e.type == EventType::Enter) {
+      e.region = RegionId{9999};
+      break;
+    }
+  }
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "unknown region"));
+}
+
+TEST(Lint, DetectsLostMessage) {
+  auto tc = healthy();
+  for (std::size_t i = 0; i < tc.ranks[16].events.size(); ++i) {
+    if (tc.ranks[16].events[i].type == EventType::Recv) {
+      tc.ranks[16].events.erase(tc.ranks[16].events.begin() +
+                                static_cast<long>(i));
+      break;
+    }
+  }
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "unreceived send"));
+}
+
+TEST(Lint, DetectsPeerOutOfRange) {
+  auto tc = healthy();
+  for (auto& e : tc.ranks[0].events) {
+    if (e.type == EventType::Send) {
+      e.peer = 999;
+      break;
+    }
+  }
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "peer out of range"));
+}
+
+TEST(Lint, DetectsIncompleteCollective) {
+  auto tc = healthy();
+  for (std::size_t i = 0; i < tc.ranks[5].events.size(); ++i) {
+    if (tc.ranks[5].events[i].type == EventType::CollExit) {
+      // Replace by a plain exit: the instance loses one participant.
+      tc.ranks[5].events[i].type = EventType::Exit;
+      break;
+    }
+  }
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "participants"));
+}
+
+TEST(Lint, DetectsRankPositionMismatch) {
+  auto tc = healthy();
+  tc.ranks[2].rank = 7;
+  const auto rep = lint_collection(tc);
+  EXPECT_TRUE(mentions(rep, "stored at position"));
+}
+
+TEST(Lint, CollectsMultipleProblemsAtOnce) {
+  auto tc = healthy();
+  tc.ranks[0].events.pop_back();
+  tc.ranks[3].events[10].time = tc.ranks[3].events[9].time - 1.0;
+  const auto rep = lint_collection(tc);
+  EXPECT_GE(rep.problems.size(), 2u);
+}
+
+TEST(Dump, ShowsEventsWithNesting) {
+  const auto tc = healthy();
+  const std::string out = dump_trace(tc, 0, 50);
+  EXPECT_NE(out.find("ENTER main"), std::string::npos);
+  EXPECT_NE(out.find("SEND ->"), std::string::npos);
+  EXPECT_NE(out.find("# rank 0 on FH-BRS"), std::string::npos);
+  EXPECT_NE(out.find("more)"), std::string::npos);
+  EXPECT_THROW(dump_trace(tc, 99), Error);
+}
+
+TEST(Dump, ShowsSyncRecords) {
+  const auto tc = healthy();
+  const std::string out = dump_trace(tc, 5, 1);
+  EXPECT_NE(out.find("# sync phase 0"), std::string::npos);
+  EXPECT_NE(out.find("# sync phase 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metascope::tracing

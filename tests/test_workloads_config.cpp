@@ -1,0 +1,147 @@
+#include "workloads/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "clocksync/correction.hpp"
+#include "common/error.hpp"
+
+namespace metascope::workloads {
+namespace {
+
+TEST(Config, PresetTopologies) {
+  const auto viola = parse_topology(Json::parse(
+      R"({"preset": "viola-experiment1"})"));
+  EXPECT_EQ(viola.num_ranks(), 32);
+  EXPECT_EQ(viola.num_metahosts(), 3);
+  const auto ibm =
+      parse_topology(Json::parse(R"({"preset": "ibm-power", "procs": 8})"));
+  EXPECT_EQ(ibm.num_ranks(), 8);
+  EXPECT_THROW(parse_topology(Json::parse(R"({"preset": "nope"})")), Error);
+}
+
+TEST(Config, CustomTopology) {
+  const auto topo = parse_topology(Json::parse(R"({
+    "metahosts": [
+      {"name": "A", "nodes": 2, "cpus_per_node": 2, "speed": 2.0,
+       "latency_us": 15, "jitter_us": 0.5, "bandwidth_gbps": 2.0},
+      {"name": "B", "nodes": 1, "cpus_per_node": 4, "global_clock": true}
+    ],
+    "external": {"latency_us": 800, "asymmetry": 0.05},
+    "placement": [
+      {"metahost": 0, "nodes": 2, "procs_per_node": 2},
+      {"metahost": 1, "nodes": 1, "procs_per_node": 4}
+    ]
+  })"));
+  EXPECT_EQ(topo.num_ranks(), 8);
+  EXPECT_EQ(topo.metahost(MetahostId{0}).name, "A");
+  EXPECT_DOUBLE_EQ(topo.metahost(MetahostId{0}).speed_factor, 2.0);
+  EXPECT_NEAR(topo.metahost(MetahostId{0}).internal.latency_mean, 15e-6,
+              1e-12);
+  EXPECT_TRUE(topo.metahost(MetahostId{1}).has_global_clock);
+  EXPECT_NEAR(topo.link_between(0, 4).latency_mean, 800e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(topo.link_between(0, 4).asymmetry, 0.05);
+}
+
+TEST(Config, TopologyValidation) {
+  EXPECT_THROW(parse_topology(Json::parse(R"({})")), Error);
+  EXPECT_THROW(parse_topology(Json::parse(
+                   R"({"metahosts": [{"name": "A"}]})")),
+               Error);  // no placement
+  EXPECT_THROW(parse_topology(Json::parse(R"({
+    "metahosts": [{"name": "A", "nodes": 1}],
+    "placement": [{"metahost": 0, "nodes": 5, "procs_per_node": 1}]
+  })")),
+               Error);  // placement overflow
+  EXPECT_THROW(parse_topology(Json::parse(R"({
+    "metahosts": [{"name": "A", "asymmetry": 1.5}],
+    "placement": [{"metahost": 0, "nodes": 1, "procs_per_node": 1}]
+  })")),
+               Error);  // bad asymmetry
+}
+
+TEST(Config, SyncSchemes) {
+  EXPECT_EQ(parse_sync_scheme("none"), tracing::SyncScheme::None);
+  EXPECT_EQ(parse_sync_scheme("flat-single"),
+            tracing::SyncScheme::FlatSingle);
+  EXPECT_EQ(parse_sync_scheme("flat-two"), tracing::SyncScheme::FlatTwo);
+  EXPECT_EQ(parse_sync_scheme("hierarchical-two"),
+            tracing::SyncScheme::HierarchicalTwo);
+  EXPECT_THROW(parse_sync_scheme("flat"), Error);
+}
+
+TEST(Config, FullExperimentParsesAndRuns) {
+  const auto spec = parse_experiment(Json::parse(R"({
+    "name": "cfg-test",
+    "seed": 3,
+    "topology": {
+      "metahosts": [
+        {"name": "A", "nodes": 2, "cpus_per_node": 1},
+        {"name": "B", "nodes": 2, "cpus_per_node": 1, "speed": 0.5}
+      ],
+      "external": {"latency_us": 900, "asymmetry": 0.08},
+      "placement": [
+        {"metahost": 0, "nodes": 2, "procs_per_node": 1},
+        {"metahost": 1, "nodes": 2, "procs_per_node": 1}
+      ]
+    },
+    "workload": {"kind": "metatrace", "trace_ranks": 2,
+                 "partrace_ranks": 2, "coupling_steps": 2,
+                 "cg_iterations": 5, "field_mb_total": 8},
+    "clocks": {"max_offset_s": 0.2, "max_drift": 2e-5},
+    "sync": "hierarchical-two"
+  })"));
+  EXPECT_EQ(spec.name, "cfg-test");
+  EXPECT_EQ(spec.topology.num_ranks(), 4);
+  EXPECT_EQ(spec.config.measurement.scheme,
+            tracing::SyncScheme::HierarchicalTwo);
+  EXPECT_DOUBLE_EQ(spec.config.clocks.max_offset, 0.2);
+  auto data = run_experiment(spec.topology, spec.program, spec.config);
+  clocksync::synchronize(data.traces);
+  const auto res = analysis::analyze_serial(data.traces);
+  EXPECT_GT(res.cube.total_time(), 0.0);
+}
+
+TEST(Config, ClockbenchWorkload) {
+  const auto spec = parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 4},
+    "workload": {"kind": "clockbench", "rounds": 20},
+    "sync": "none",
+    "clocks": {"perfect": true}
+  })"));
+  EXPECT_TRUE(spec.config.perfect_clocks);
+  auto data = run_experiment(spec.topology, spec.program, spec.config);
+  EXPECT_GT(data.exec.stats.messages, 0u);
+}
+
+TEST(Config, PatternDemoWorkloads) {
+  for (const char* p : {"late-sender", "late-receiver"}) {
+    const std::string doc = std::string(R"({
+      "topology": {"preset": "ibm-power", "procs": 2},
+      "workload": {"kind": "pattern-demo", "pattern": ")") +
+                            p + R"("}})";
+    EXPECT_NO_THROW(parse_experiment(Json::parse(doc))) << p;
+  }
+  EXPECT_THROW(parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "bogus"}})")),
+               Error);
+}
+
+TEST(Config, UnknownWorkloadKindRejected) {
+  EXPECT_THROW(parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "quantum"}})")),
+               Error);
+}
+
+TEST(Config, MetatraceRankMismatchRejected) {
+  EXPECT_THROW(parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 8},
+    "workload": {"kind": "metatrace", "trace_ranks": 2,
+                 "partrace_ranks": 2}})")),
+               Error);
+}
+
+}  // namespace
+}  // namespace metascope::workloads

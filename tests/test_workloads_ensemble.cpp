@@ -1,0 +1,175 @@
+// Tests for the ensemble-forecast workload: structure, pattern content
+// on heterogeneous placements, and config-file integration.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "common/error.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/config.hpp"
+#include "workloads/ensemble.hpp"
+#include "workloads/experiment.hpp"
+
+namespace metascope::workloads {
+namespace {
+
+/// One metahost per ensemble member, with member 2 on half-speed nodes.
+simnet::Topology member_per_host(int members, int ranks_per_member) {
+  simnet::Topology topo;
+  for (int m = 0; m < members; ++m) {
+    simnet::MetahostSpec spec;
+    spec.name = "Site" + std::to_string(m);
+    spec.num_nodes = ranks_per_member;
+    spec.cpus_per_node = 1;
+    spec.speed_factor = m == 2 ? 0.5 : 1.0;
+    spec.internal = simnet::LinkSpec{20e-6, 0.5e-6, 1e9};
+    topo.add_metahost(spec);
+  }
+  simnet::LinkSpec wan{900e-6, 4e-6, 1.25e9};
+  wan.asymmetry = 0.06;
+  topo.set_default_external(wan);
+  for (int m = 0; m < members; ++m)
+    topo.place_block(MetahostId{m}, ranks_per_member, 1);
+  return topo;
+}
+
+analysis::AnalysisResult analyze_ensemble(const EnsembleConfig& cfg,
+                                          const simnet::Topology& topo) {
+  const auto prog = build_ensemble(cfg);
+  ExperimentConfig xc;
+  xc.perfect_clocks = true;
+  xc.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = run_experiment(topo, prog, xc);
+  return analysis::analyze_serial(data.traces);
+}
+
+TEST(Ensemble, ValidatesConfig) {
+  EnsembleConfig bad;
+  bad.members = 1;
+  EXPECT_THROW(build_ensemble(bad), Error);
+  bad = EnsembleConfig{};
+  bad.cycles = 0;
+  EXPECT_THROW(build_ensemble(bad), Error);
+}
+
+TEST(Ensemble, ProgramStructure) {
+  EnsembleConfig cfg;
+  const auto prog = build_ensemble(cfg);
+  EXPECT_EQ(prog.num_ranks(), cfg.num_ranks());
+  // member comms + leaders comm + world.
+  EXPECT_EQ(prog.comms.size(),
+            static_cast<std::size_t>(cfg.members) + 2);
+  EXPECT_TRUE(prog.regions.contains("integrate_member"));
+  EXPECT_TRUE(prog.regions.contains("deliver_forecast"));
+}
+
+TEST(Ensemble, RunsOnHeterogeneousMetacomputer) {
+  EnsembleConfig cfg;
+  const auto topo = member_per_host(cfg.members, cfg.ranks_per_member);
+  const auto res = analyze_ensemble(cfg, topo);
+  EXPECT_GT(res.cube.total_time(), 0.0);
+}
+
+TEST(Ensemble, SlowMemberGatesTheGather) {
+  // Member 2 runs at half speed; the root (member 0) must show (grid)
+  // Early Reduce waiting for member 2's forecast.
+  EnsembleConfig cfg;
+  const auto topo = member_per_host(cfg.members, cfg.ranks_per_member);
+  const auto res = analyze_ensemble(cfg, topo);
+  const auto& ps = res.patterns;
+  const double er =
+      res.cube.metric_inclusive_total(ps.early_reduce);
+  EXPECT_GT(er, 0.5 * cfg.cycles * cfg.timesteps * cfg.step_work);
+  // All of it is grid (leaders live on different metahosts) and sits at
+  // the root.
+  EXPECT_NEAR(res.cube.metric_total(ps.early_reduce), 0.0, 1e-9);
+  EXPECT_NEAR(res.cube.rank_inclusive_total(ps.grid_early_reduce, 0), er,
+              1e-9);
+  // The pair breakdown names the slow member's metahost.
+  EXPECT_GT(res.cube.pair_breakdown(ps.grid_early_reduce, MetahostId{0},
+                                    MetahostId{2}),
+            0.9 * er);
+}
+
+TEST(Ensemble, FastMembersWaitForNextCycle) {
+  // While the root waits for member 2 and computes statistics, the fast
+  // members already sit in the next cycle's Bcast: (grid) Late
+  // Broadcast away from the root's metahost.
+  EnsembleConfig cfg;
+  const auto topo = member_per_host(cfg.members, cfg.ranks_per_member);
+  const auto res = analyze_ensemble(cfg, topo);
+  const auto& ps = res.patterns;
+  const double lb =
+      res.cube.metric_inclusive_total(ps.late_broadcast);
+  EXPECT_GT(lb, 0.0);
+  double off_root = 0.0;
+  for (Rank r = cfg.ranks_per_member; r < cfg.num_ranks(); ++r)
+    off_root += res.cube.rank_inclusive_total(ps.late_broadcast, r) +
+                res.cube.rank_inclusive_total(ps.grid_late_broadcast, r);
+  EXPECT_GT(off_root, 0.8 * lb);
+}
+
+TEST(Ensemble, MemberLocalAllreduceStaysLocal) {
+  // The stability Allreduce runs on member communicators; with one
+  // member per metahost it must never be classified as grid.
+  EnsembleConfig cfg;
+  const auto topo = member_per_host(cfg.members, cfg.ranks_per_member);
+  const auto res = analyze_ensemble(cfg, topo);
+  double grid_nxn_in_stability = 0.0;
+  for (CallPathId c : res.cube.calls.preorder()) {
+    if (res.cube.regions.name(res.cube.calls.node(c).region) ==
+        "stability_check")
+      grid_nxn_in_stability += res.cube.cnode_subtree_inclusive(
+          res.patterns.grid_wait_nxn, c);
+  }
+  EXPECT_NEAR(grid_nxn_in_stability, 0.0, 1e-9);
+}
+
+TEST(Ensemble, HomogeneousRunBalances) {
+  EnsembleConfig cfg;
+  simnet::Topology topo;
+  simnet::MetahostSpec spec;
+  spec.name = "Uniform";
+  spec.num_nodes = cfg.num_ranks();
+  spec.cpus_per_node = 1;
+  spec.internal = simnet::LinkSpec{20e-6, 0.5e-6, 1e9};
+  topo.add_metahost(spec);
+  topo.place_block(MetahostId{0}, cfg.num_ranks(), 1);
+  const auto res = analyze_ensemble(cfg, topo);
+  const double er = res.cube.metric_inclusive_total(
+      res.patterns.early_reduce);
+  // Without the slow member, the root's gather wait nearly vanishes.
+  EXPECT_LT(er, 0.1 * cfg.cycles * cfg.timesteps * cfg.step_work);
+}
+
+TEST(Ensemble, ConfigFileIntegration) {
+  const auto spec = parse_experiment(Json::parse(R"({
+    "topology": {
+      "metahosts": [
+        {"name": "A", "nodes": 4, "cpus_per_node": 1},
+        {"name": "B", "nodes": 4, "cpus_per_node": 1, "speed": 0.7}
+      ],
+      "external": {"latency_us": 900},
+      "placement": [
+        {"metahost": 0, "nodes": 4, "procs_per_node": 1},
+        {"metahost": 1, "nodes": 4, "procs_per_node": 1}
+      ]
+    },
+    "workload": {"kind": "ensemble", "members": 2, "ranks_per_member": 4,
+                 "cycles": 2, "timesteps": 4},
+    "sync": "hierarchical-two"
+  })"));
+  EXPECT_EQ(spec.program.num_ranks(), 8);
+  auto data = run_experiment(spec.topology, spec.program, spec.config);
+  EXPECT_GT(data.exec.stats.collectives, 0u);
+}
+
+TEST(Ensemble, ConfigRankMismatchRejected) {
+  EXPECT_THROW(parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 9},
+    "workload": {"kind": "ensemble", "members": 2, "ranks_per_member": 4}
+  })")),
+               Error);
+}
+
+}  // namespace
+}  // namespace metascope::workloads
