@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_archive.dir/bench_ablate_archive.cpp.o"
+  "CMakeFiles/bench_ablate_archive.dir/bench_ablate_archive.cpp.o.d"
+  "bench_ablate_archive"
+  "bench_ablate_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_clockdrift.dir/bench_fig1_clockdrift.cpp.o"
+  "CMakeFiles/bench_fig1_clockdrift.dir/bench_fig1_clockdrift.cpp.o.d"
+  "bench_fig1_clockdrift"
+  "bench_fig1_clockdrift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_clockdrift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

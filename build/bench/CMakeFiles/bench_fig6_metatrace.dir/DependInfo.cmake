@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_metatrace.cpp" "bench/CMakeFiles/bench_fig6_metatrace.dir/bench_fig6_metatrace.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_metatrace.dir/bench_fig6_metatrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/metascope_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/metascope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/metascope_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/metascope_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/metascope_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/metascope_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/metascope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_metatrace.dir/bench_fig6_metatrace.cpp.o"
+  "CMakeFiles/bench_fig6_metatrace.dir/bench_fig6_metatrace.cpp.o.d"
+  "bench_fig6_metatrace"
+  "bench_fig6_metatrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_metatrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

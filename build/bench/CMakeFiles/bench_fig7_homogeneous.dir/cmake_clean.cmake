@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_homogeneous.dir/bench_fig7_homogeneous.cpp.o"
+  "CMakeFiles/bench_fig7_homogeneous.dir/bench_fig7_homogeneous.cpp.o.d"
+  "bench_fig7_homogeneous"
+  "bench_fig7_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_violations.dir/bench_table2_violations.cpp.o"
+  "CMakeFiles/bench_table2_violations.dir/bench_table2_violations.cpp.o.d"
+  "bench_table2_violations"
+  "bench_table2_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

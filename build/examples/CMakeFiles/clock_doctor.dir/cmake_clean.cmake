@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_doctor.dir/clock_doctor.cpp.o"
+  "CMakeFiles/clock_doctor.dir/clock_doctor.cpp.o.d"
+  "clock_doctor"
+  "clock_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

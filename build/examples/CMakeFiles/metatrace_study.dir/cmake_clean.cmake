@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metatrace_study.dir/metatrace_study.cpp.o"
+  "CMakeFiles/metatrace_study.dir/metatrace_study.cpp.o.d"
+  "metatrace_study"
+  "metatrace_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metatrace_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_run.dir/msc_run.cpp.o"
+  "CMakeFiles/msc_run.dir/msc_run.cpp.o.d"
+  "msc_run"
+  "msc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

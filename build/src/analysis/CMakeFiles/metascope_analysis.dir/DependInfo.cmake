@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/base_accum.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/base_accum.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/base_accum.cpp.o.d"
+  "/root/repo/src/analysis/parallel_analyzer.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/parallel_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/parallel_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/prepare.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/prepare.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/prepare.cpp.o.d"
+  "/root/repo/src/analysis/serial_analyzer.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/serial_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/serial_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/wait_rules.cpp" "src/analysis/CMakeFiles/metascope_analysis.dir/wait_rules.cpp.o" "gcc" "src/analysis/CMakeFiles/metascope_analysis.dir/wait_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracing/CMakeFiles/metascope_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/metascope_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/metascope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_analysis.dir/base_accum.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/base_accum.cpp.o.d"
+  "CMakeFiles/metascope_analysis.dir/parallel_analyzer.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/parallel_analyzer.cpp.o.d"
+  "CMakeFiles/metascope_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/metascope_analysis.dir/prepare.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/prepare.cpp.o.d"
+  "CMakeFiles/metascope_analysis.dir/serial_analyzer.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/serial_analyzer.cpp.o.d"
+  "CMakeFiles/metascope_analysis.dir/wait_rules.cpp.o"
+  "CMakeFiles/metascope_analysis.dir/wait_rules.cpp.o.d"
+  "libmetascope_analysis.a"
+  "libmetascope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

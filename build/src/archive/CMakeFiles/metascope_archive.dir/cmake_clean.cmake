@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_archive.dir/archive.cpp.o"
+  "CMakeFiles/metascope_archive.dir/archive.cpp.o.d"
+  "libmetascope_archive.a"
+  "libmetascope_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

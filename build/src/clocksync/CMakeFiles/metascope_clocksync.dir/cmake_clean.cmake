@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_clocksync.dir/amortization.cpp.o"
+  "CMakeFiles/metascope_clocksync.dir/amortization.cpp.o.d"
+  "CMakeFiles/metascope_clocksync.dir/clock_condition.cpp.o"
+  "CMakeFiles/metascope_clocksync.dir/clock_condition.cpp.o.d"
+  "CMakeFiles/metascope_clocksync.dir/correction.cpp.o"
+  "CMakeFiles/metascope_clocksync.dir/correction.cpp.o.d"
+  "CMakeFiles/metascope_clocksync.dir/error_analysis.cpp.o"
+  "CMakeFiles/metascope_clocksync.dir/error_analysis.cpp.o.d"
+  "libmetascope_clocksync.a"
+  "libmetascope_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_common.dir/binary_io.cpp.o"
+  "CMakeFiles/metascope_common.dir/binary_io.cpp.o.d"
+  "CMakeFiles/metascope_common.dir/json.cpp.o"
+  "CMakeFiles/metascope_common.dir/json.cpp.o.d"
+  "CMakeFiles/metascope_common.dir/log.cpp.o"
+  "CMakeFiles/metascope_common.dir/log.cpp.o.d"
+  "CMakeFiles/metascope_common.dir/rng.cpp.o"
+  "CMakeFiles/metascope_common.dir/rng.cpp.o.d"
+  "CMakeFiles/metascope_common.dir/stats.cpp.o"
+  "CMakeFiles/metascope_common.dir/stats.cpp.o.d"
+  "CMakeFiles/metascope_common.dir/table.cpp.o"
+  "CMakeFiles/metascope_common.dir/table.cpp.o.d"
+  "libmetascope_common.a"
+  "libmetascope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

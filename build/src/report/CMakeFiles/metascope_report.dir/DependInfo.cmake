@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/algebra.cpp" "src/report/CMakeFiles/metascope_report.dir/algebra.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/algebra.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/metascope_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/cube.cpp" "src/report/CMakeFiles/metascope_report.dir/cube.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/cube.cpp.o.d"
+  "/root/repo/src/report/cubexml.cpp" "src/report/CMakeFiles/metascope_report.dir/cubexml.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/cubexml.cpp.o.d"
+  "/root/repo/src/report/profile.cpp" "src/report/CMakeFiles/metascope_report.dir/profile.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/profile.cpp.o.d"
+  "/root/repo/src/report/render.cpp" "src/report/CMakeFiles/metascope_report.dir/render.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/render.cpp.o.d"
+  "/root/repo/src/report/timeline.cpp" "src/report/CMakeFiles/metascope_report.dir/timeline.cpp.o" "gcc" "src/report/CMakeFiles/metascope_report.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracing/CMakeFiles/metascope_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/metascope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_report.dir/algebra.cpp.o"
+  "CMakeFiles/metascope_report.dir/algebra.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/csv.cpp.o"
+  "CMakeFiles/metascope_report.dir/csv.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/cube.cpp.o"
+  "CMakeFiles/metascope_report.dir/cube.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/cubexml.cpp.o"
+  "CMakeFiles/metascope_report.dir/cubexml.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/profile.cpp.o"
+  "CMakeFiles/metascope_report.dir/profile.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/render.cpp.o"
+  "CMakeFiles/metascope_report.dir/render.cpp.o.d"
+  "CMakeFiles/metascope_report.dir/timeline.cpp.o"
+  "CMakeFiles/metascope_report.dir/timeline.cpp.o.d"
+  "libmetascope_report.a"
+  "libmetascope_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/collectives.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/collectives.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/comm.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/simmpi/engine.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/engine.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/engine.cpp.o.d"
+  "/root/repo/src/simmpi/op.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/op.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/op.cpp.o.d"
+  "/root/repo/src/simmpi/pingpong.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/pingpong.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/pingpong.cpp.o.d"
+  "/root/repo/src/simmpi/program.cpp" "src/simmpi/CMakeFiles/metascope_simmpi.dir/program.cpp.o" "gcc" "src/simmpi/CMakeFiles/metascope_simmpi.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/metascope_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/metascope_simmpi.dir/engine.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/engine.cpp.o.d"
+  "CMakeFiles/metascope_simmpi.dir/op.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/op.cpp.o.d"
+  "CMakeFiles/metascope_simmpi.dir/pingpong.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/pingpong.cpp.o.d"
+  "CMakeFiles/metascope_simmpi.dir/program.cpp.o"
+  "CMakeFiles/metascope_simmpi.dir/program.cpp.o.d"
+  "libmetascope_simmpi.a"
+  "libmetascope_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_simnet.dir/clock.cpp.o"
+  "CMakeFiles/metascope_simnet.dir/clock.cpp.o.d"
+  "CMakeFiles/metascope_simnet.dir/network.cpp.o"
+  "CMakeFiles/metascope_simnet.dir/network.cpp.o.d"
+  "CMakeFiles/metascope_simnet.dir/presets.cpp.o"
+  "CMakeFiles/metascope_simnet.dir/presets.cpp.o.d"
+  "CMakeFiles/metascope_simnet.dir/topology.cpp.o"
+  "CMakeFiles/metascope_simnet.dir/topology.cpp.o.d"
+  "libmetascope_simnet.a"
+  "libmetascope_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracing/epilog_io.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/epilog_io.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/epilog_io.cpp.o.d"
+  "/root/repo/src/tracing/lint.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/lint.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/lint.cpp.o.d"
+  "/root/repo/src/tracing/matching.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/matching.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/matching.cpp.o.d"
+  "/root/repo/src/tracing/measurement.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/measurement.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/measurement.cpp.o.d"
+  "/root/repo/src/tracing/metahost_env.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/metahost_env.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/metahost_env.cpp.o.d"
+  "/root/repo/src/tracing/trace.cpp" "src/tracing/CMakeFiles/metascope_tracing.dir/trace.cpp.o" "gcc" "src/tracing/CMakeFiles/metascope_tracing.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/metascope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

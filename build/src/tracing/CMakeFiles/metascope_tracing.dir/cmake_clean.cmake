@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_tracing.dir/epilog_io.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/epilog_io.cpp.o.d"
+  "CMakeFiles/metascope_tracing.dir/lint.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/lint.cpp.o.d"
+  "CMakeFiles/metascope_tracing.dir/matching.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/matching.cpp.o.d"
+  "CMakeFiles/metascope_tracing.dir/measurement.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/measurement.cpp.o.d"
+  "CMakeFiles/metascope_tracing.dir/metahost_env.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/metahost_env.cpp.o.d"
+  "CMakeFiles/metascope_tracing.dir/trace.cpp.o"
+  "CMakeFiles/metascope_tracing.dir/trace.cpp.o.d"
+  "libmetascope_tracing.a"
+  "libmetascope_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/clockbench.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/clockbench.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/clockbench.cpp.o.d"
+  "/root/repo/src/workloads/config.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/config.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/config.cpp.o.d"
+  "/root/repo/src/workloads/ensemble.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/ensemble.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/ensemble.cpp.o.d"
+  "/root/repo/src/workloads/experiment.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/experiment.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/experiment.cpp.o.d"
+  "/root/repo/src/workloads/metatrace.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/metatrace.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/metatrace.cpp.o.d"
+  "/root/repo/src/workloads/microworkloads.cpp" "src/workloads/CMakeFiles/metascope_workloads.dir/microworkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/metascope_workloads.dir/microworkloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/metascope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/metascope_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/metascope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metascope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

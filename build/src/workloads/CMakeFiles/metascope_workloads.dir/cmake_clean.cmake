@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascope_workloads.dir/clockbench.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/clockbench.cpp.o.d"
+  "CMakeFiles/metascope_workloads.dir/config.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/config.cpp.o.d"
+  "CMakeFiles/metascope_workloads.dir/ensemble.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/ensemble.cpp.o.d"
+  "CMakeFiles/metascope_workloads.dir/experiment.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/experiment.cpp.o.d"
+  "CMakeFiles/metascope_workloads.dir/metatrace.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/metatrace.cpp.o.d"
+  "CMakeFiles/metascope_workloads.dir/microworkloads.cpp.o"
+  "CMakeFiles/metascope_workloads.dir/microworkloads.cpp.o.d"
+  "libmetascope_workloads.a"
+  "libmetascope_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascope_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_analyzers.dir/test_analysis_analyzers.cpp.o"
+  "CMakeFiles/test_analysis_analyzers.dir/test_analysis_analyzers.cpp.o.d"
+  "test_analysis_analyzers"
+  "test_analysis_analyzers.pdb"
+  "test_analysis_analyzers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_analyzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocksync.dir/test_clocksync.cpp.o"
+  "CMakeFiles/test_clocksync.dir/test_clocksync.cpp.o.d"
+  "test_clocksync"
+  "test_clocksync.pdb"
+  "test_clocksync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

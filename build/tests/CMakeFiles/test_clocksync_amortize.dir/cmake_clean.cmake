@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocksync_amortize.dir/test_clocksync_amortize.cpp.o"
+  "CMakeFiles/test_clocksync_amortize.dir/test_clocksync_amortize.cpp.o.d"
+  "test_clocksync_amortize"
+  "test_clocksync_amortize.pdb"
+  "test_clocksync_amortize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocksync_amortize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

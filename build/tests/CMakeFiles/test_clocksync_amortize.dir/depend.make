@@ -1,0 +1,2 @@
+# Empty dependencies file for test_clocksync_amortize.
+# This may be replaced when dependencies are built.

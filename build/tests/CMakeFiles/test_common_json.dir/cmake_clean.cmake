@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_json.dir/test_common_json.cpp.o"
+  "CMakeFiles/test_common_json.dir/test_common_json.cpp.o.d"
+  "test_common_json"
+  "test_common_json.pdb"
+  "test_common_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_algebra.dir/test_report_algebra.cpp.o"
+  "CMakeFiles/test_report_algebra.dir/test_report_algebra.cpp.o.d"
+  "test_report_algebra"
+  "test_report_algebra.pdb"
+  "test_report_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_cube.dir/test_report_cube.cpp.o"
+  "CMakeFiles/test_report_cube.dir/test_report_cube.cpp.o.d"
+  "test_report_cube"
+  "test_report_cube.pdb"
+  "test_report_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

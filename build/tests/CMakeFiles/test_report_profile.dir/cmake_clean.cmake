@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_profile.dir/test_report_profile.cpp.o"
+  "CMakeFiles/test_report_profile.dir/test_report_profile.cpp.o.d"
+  "test_report_profile"
+  "test_report_profile.pdb"
+  "test_report_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_xml.dir/test_report_xml.cpp.o"
+  "CMakeFiles/test_report_xml.dir/test_report_xml.cpp.o.d"
+  "test_report_xml"
+  "test_report_xml.pdb"
+  "test_report_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_collectives.dir/test_simmpi_collectives.cpp.o"
+  "CMakeFiles/test_simmpi_collectives.dir/test_simmpi_collectives.cpp.o.d"
+  "test_simmpi_collectives"
+  "test_simmpi_collectives.pdb"
+  "test_simmpi_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

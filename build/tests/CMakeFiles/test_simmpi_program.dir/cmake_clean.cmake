@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_program.dir/test_simmpi_program.cpp.o"
+  "CMakeFiles/test_simmpi_program.dir/test_simmpi_program.cpp.o.d"
+  "test_simmpi_program"
+  "test_simmpi_program.pdb"
+  "test_simmpi_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

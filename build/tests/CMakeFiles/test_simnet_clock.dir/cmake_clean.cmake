@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_clock.dir/test_simnet_clock.cpp.o"
+  "CMakeFiles/test_simnet_clock.dir/test_simnet_clock.cpp.o.d"
+  "test_simnet_clock"
+  "test_simnet_clock.pdb"
+  "test_simnet_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_network.dir/test_simnet_network.cpp.o"
+  "CMakeFiles/test_simnet_network.dir/test_simnet_network.cpp.o.d"
+  "test_simnet_network"
+  "test_simnet_network.pdb"
+  "test_simnet_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_topology.dir/test_simnet_topology.cpp.o"
+  "CMakeFiles/test_simnet_topology.dir/test_simnet_topology.cpp.o.d"
+  "test_simnet_topology"
+  "test_simnet_topology.pdb"
+  "test_simnet_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

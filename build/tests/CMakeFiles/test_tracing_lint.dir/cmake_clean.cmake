@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracing_lint.dir/test_tracing_lint.cpp.o"
+  "CMakeFiles/test_tracing_lint.dir/test_tracing_lint.cpp.o.d"
+  "test_tracing_lint"
+  "test_tracing_lint.pdb"
+  "test_tracing_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracing_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

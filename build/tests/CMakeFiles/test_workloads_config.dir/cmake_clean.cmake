@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_config.dir/test_workloads_config.cpp.o"
+  "CMakeFiles/test_workloads_config.dir/test_workloads_config.cpp.o.d"
+  "test_workloads_config"
+  "test_workloads_config.pdb"
+  "test_workloads_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

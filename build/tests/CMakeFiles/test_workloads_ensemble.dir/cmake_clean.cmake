@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_ensemble.dir/test_workloads_ensemble.cpp.o"
+  "CMakeFiles/test_workloads_ensemble.dir/test_workloads_ensemble.cpp.o.d"
+  "test_workloads_ensemble"
+  "test_workloads_ensemble.pdb"
+  "test_workloads_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
