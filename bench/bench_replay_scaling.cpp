@@ -1,0 +1,124 @@
+// Replay-scheduler scaling: thread-per-rank vs a bounded worker pool.
+//
+// The old parallel analyzer spawned one OS thread per application rank;
+// this bench reproduces that regime by pinning the pool size to the rank
+// count, and compares it against the default pool (hardware
+// concurrency) at 64 / 256 / 1024 ranks. The point of record: the
+// bounded pool analyzes a 1024-rank trace without 1024 threads, with
+// wall-clock that does not degrade under thread-spawn and
+// context-switch pressure, and its cube stays bit-identical to the
+// serial analyzer's.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "analysis/analyzer.hpp"
+#include "common/table.hpp"
+#include "harness_util.hpp"
+#include "simmpi/program.hpp"
+#include "simnet/topology.hpp"
+#include "workloads/experiment.hpp"
+
+using namespace metascope;
+
+namespace {
+
+/// Two metahosts joined by a WAN link, `per_side` single-CPU nodes each.
+simnet::Topology two_site(int per_side) {
+  simnet::Topology topo;
+  simnet::MetahostSpec a;
+  a.name = "SiteA";
+  a.num_nodes = per_side;
+  a.cpus_per_node = 1;
+  a.speed_factor = 0.8;
+  a.internal = simnet::LinkSpec{50e-6, 1e-6, 0.5e9};
+  simnet::MetahostSpec b;
+  b.name = "SiteB";
+  b.num_nodes = per_side;
+  b.cpus_per_node = 1;
+  b.speed_factor = 1.0;
+  b.internal = simnet::LinkSpec{21.5e-6, 0.8e-6, 1.4e9};
+  const auto ia = topo.add_metahost(a);
+  const auto ib = topo.add_metahost(b);
+  topo.set_external_link(ia, ib, simnet::LinkSpec{988e-6, 3.86e-6, 1.25e9});
+  topo.place_block(ia, per_side, 1);
+  topo.place_block(ib, per_side, 1);
+  return topo;
+}
+
+/// Ring shifts + staggered collectives — enough communication that the
+/// replay suspends constantly when ranks outnumber workers.
+simmpi::Program ring_program(int nranks, int steps) {
+  simmpi::ProgramBuilder b(nranks);
+  for (Rank r = 0; r < nranks; ++r) b.on(r).enter("main");
+  for (int s = 0; s < steps; ++s) {
+    for (Rank r = 0; r < nranks; ++r) {
+      b.on(r).enter("ring").send((r + 1) % nranks, s, 2048.0);
+      b.on(r).recv((r + nranks - 1) % nranks, s).exit();
+    }
+    for (Rank r = 0; r < nranks; ++r)
+      b.on(r).compute(1e-4 * (r % 7)).barrier();
+    for (Rank r = 0; r < nranks; ++r) b.on(r).allreduce(512.0);
+  }
+  for (Rank r = 0; r < nranks; ++r) b.on(r).exit();
+  return b.take();
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Replay scaling", "thread-per-rank vs bounded worker pool");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("hardware concurrency: %u\n\n", hw);
+
+  TextTable t({"ranks", "events", "mode", "workers", "wall [ms]",
+               "suspensions", "requeues", "steals", "cube==serial"});
+  for (int per_side : {32, 128, 512}) {
+    const int ranks = 2 * per_side;
+    const auto topo = two_site(per_side);
+    workloads::ExperimentConfig cfg;
+    cfg.perfect_clocks = true;
+    cfg.measurement.scheme = tracing::SyncScheme::None;
+    const auto data =
+        workloads::run_experiment(topo, ring_program(ranks, 3), cfg);
+    const auto& tc = data.traces;
+    const auto serial = analysis::analyze_serial(tc);
+
+    struct Mode {
+      const char* name;
+      std::size_t workers;
+    };
+    const Mode modes[] = {
+        {"thread/rank", static_cast<std::size_t>(ranks)},
+        {"pooled", static_cast<std::size_t>(hw)},
+    };
+    for (const Mode& m : modes) {
+      analysis::ReplayOptions opts;
+      opts.max_workers = m.workers;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto p = analysis::analyze_parallel(tc, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      t.add_row({std::to_string(ranks), std::to_string(p.stats.events),
+                 m.name, std::to_string(p.stats.replay_workers),
+                 TextTable::fixed(ms_between(t0, t1), 1),
+                 std::to_string(p.stats.replay_suspensions),
+                 std::to_string(p.stats.replay_requeues),
+                 std::to_string(p.stats.replay_steals),
+                 serial.cube.approx_equal(p.cube, 0.0) ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  bench::note(
+      "\nShape check: the pooled mode matches or beats thread-per-rank\n"
+      "wall-clock while holding the worker count at hardware concurrency;\n"
+      "at 1024 ranks thread-per-rank pays for a thousand thread spawns and\n"
+      "the ensuing context-switch storm. cube==serial must read 'yes' in\n"
+      "every row: canonical-order accumulation makes the pooled replay\n"
+      "bit-identical to the serial analyzer regardless of schedule.");
+  return 0;
+}

@@ -3,14 +3,18 @@
 //
 //  - analyze_serial: the KOJAK-style baseline — conceptually merges the
 //    local traces into one global stream and searches it in one pass;
-//  - analyze_parallel: the SCALASCA-style analyzer — one analysis worker
-//    per application process replays the application's communication,
-//    exchanging only the few bytes each pattern needs (timestamps and
-//    call-path ids) instead of whole traces. Each worker touches only its
-//    own local trace, which is why this analyzer works without a shared
-//    file system.
+//  - analyze_parallel: the SCALASCA-style analyzer — re-enacts the
+//    application's communication, exchanging only the few bytes each
+//    pattern needs (timestamps and call-path ids) instead of whole
+//    traces. Each rank's replay is a resumable task driven by a bounded
+//    worker pool (replay_scheduler.hpp), so the analysis scales to
+//    thousands of ranks without spawning a thread per rank. Each task
+//    touches only its own local trace, which is why this analyzer works
+//    without a shared file system.
 //
-// Both produce identical severity cubes; tests enforce it.
+// Both collect match records into the shared replay core
+// (replay_core.hpp), which evaluates the pattern formulas in one
+// canonical order: the cubes are bit-identical, and tests enforce it.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +35,19 @@ struct AnalysisStats {
   /// Total encoded size of all local traces.
   std::size_t trace_bytes{0};
   std::size_t events{0};
+
+  // Replay-scheduler counters (parallel analyzer only; zero for serial).
+  /// Worker threads the pool actually used.
+  std::size_t replay_workers{0};
+  /// Rank replay tasks driven to completion (== ranks).
+  std::size_t replay_tasks{0};
+  /// Times a task suspended on an unsatisfied Recv / incomplete
+  /// collective instead of blocking a thread.
+  std::size_t replay_suspensions{0};
+  /// Tasks taken from another worker's run queue.
+  std::size_t replay_steals{0};
+  /// Tasks re-enqueued after a resume.
+  std::size_t replay_requeues{0};
 };
 
 struct AnalysisResult {
@@ -39,13 +56,23 @@ struct AnalysisResult {
   AnalysisStats stats;
 };
 
+/// Tuning knobs for analyze_parallel.
+struct ReplayOptions {
+  /// Worker-pool size cap; 0 = std::thread::hardware_concurrency().
+  /// The pool never exceeds the rank count. Tests pin this to exercise
+  /// specific schedules (e.g. a 2-worker pool over 1024 ranks).
+  std::size_t max_workers{0};
+};
+
 /// Serial (merged-trace) pattern search. Requires a synchronized
 /// collection (or scheme None, whose clocks are the engine's own).
 AnalysisResult analyze_serial(const tracing::TraceCollection& tc);
 
-/// Parallel replay-based pattern search: one worker thread per rank,
-/// message matching re-enacted over in-memory channels. Produces a cube
-/// bit-identical to analyze_serial.
-AnalysisResult analyze_parallel(const tracing::TraceCollection& tc);
+/// Parallel replay-based pattern search on a bounded worker pool:
+/// message matching re-enacted over lock-striped in-memory channels,
+/// one resumable task per rank. Produces a cube bit-identical to
+/// analyze_serial, for any worker count.
+AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
+                                const ReplayOptions& opts = {});
 
 }  // namespace metascope::analysis

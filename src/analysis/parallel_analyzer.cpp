@@ -1,34 +1,40 @@
-// SCALASCA-style parallel replay analysis: one worker thread per
-// application process. Workers re-enact the recorded communication over
-// in-memory channels, moving only the few bytes each pattern formula
-// needs. The exchange protocol per message mirrors the original
-// communication direction:
+// SCALASCA-style parallel replay analysis on a bounded worker pool.
+// Each application rank becomes a resumable replay task: a cursor over
+// its communication events (precomputed by prepare(), so Enter/Exit are
+// never touched) that re-enacts the recorded communication, moving only
+// the few bytes each pattern formula needs. The exchange protocol per
+// message mirrors the original communication direction:
 //
 //   sender:   push {rank, enter, exit, cnode}  -> forward channel
 //   receiver: pop                              <- forward channel
 //
-// The receiver then evaluates BOTH point-to-point patterns — Late Sender
-// (it is the waiter) and Late Receiver (the sender was the waiter; the
-// hit record simply carries the sender's rank and call path). Senders
-// never block in the replay, exactly like an eager MPI send, so any
-// deadlock-free application trace replays deadlock-free. Collectives
-// synchronize through a per-instance context; the last arriver evaluates
-// the pattern formulas for the whole instance.
+// Senders never block, exactly like an eager MPI send. A receiver whose
+// channel is empty — or a collective member whose instance is not yet
+// complete — *suspends* (yields its worker back to the pool) instead of
+// blocking an OS thread, so a pool sized by hardware concurrency drives
+// thousands of ranks. Channels and collective instances live in
+// lock-striped hash maps keyed by (src, dst, tag, comm) / (comm, seq):
+// unrelated channels never contend on one global lock.
+//
+// The replay only *collects* match records; pattern evaluation happens
+// afterwards in the shared replay core's canonical order, which is what
+// makes the cube bit-identical to analyze_serial for any worker count
+// and any interleaving.
 
 #include <atomic>
-#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <thread>
+#include <utility>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/base_accum.hpp"
 #include "analysis/prepare.hpp"
-#include "analysis/wait_rules.hpp"
+#include "analysis/replay_core.hpp"
+#include "analysis/replay_scheduler.hpp"
+#include "analysis/striped_map.hpp"
 #include "common/error.hpp"
-#include "tracing/epilog_io.hpp"
 
 namespace metascope::analysis {
 
@@ -40,6 +46,8 @@ namespace {
 /// Wire size when packed: rank (4) + two timestamps (16) + cnode (4).
 constexpr std::size_t kPeerWireBytes = 24;
 
+constexpr std::size_t kNoWaiter = static_cast<std::size_t>(-1);
+
 struct PeerInfo {
   Rank rank{kNoRank};
   double op_enter{0.0};
@@ -47,187 +55,204 @@ struct PeerInfo {
   CallPathId cnode;
 };
 
-class Channel {
- public:
-  void push(const PeerInfo& info) {
-    {
-      std::lock_guard<std::mutex> lock(m_);
-      q_.push_back(info);
-    }
-    cv_.notify_one();
-  }
-
-  PeerInfo pop() {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [this] { return !q_.empty(); });
-    PeerInfo info = q_.front();
-    q_.pop_front();
-    return info;
-  }
-
- private:
-  std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<PeerInfo> q_;
+/// One message channel: FIFO of in-flight sends plus at most one
+/// suspended receiver (each channel has a single consumer — the
+/// destination rank replays its events in order).
+struct Channel {
+  std::deque<PeerInfo> q;
+  std::size_t waiter{kNoWaiter};
 };
 
-/// Channels keyed by (src, dst, tag, comm); created on first use.
-class ChannelMap {
- public:
-  Channel& get(Rank src, Rank dst, int tag, int comm) {
-    const auto key = std::tuple(src, dst, tag, comm);
-    std::lock_guard<std::mutex> lock(m_);
-    auto& slot = map_[key];
-    if (!slot) slot = std::make_unique<Channel>();
-    return *slot;
-  }
-
- private:
-  std::mutex m_;
-  std::map<std::tuple<Rank, Rank, int, int>, std::unique_ptr<Channel>> map_;
+struct ChannelKey {
+  Rank src{kNoRank};
+  Rank dst{kNoRank};
+  int tag{0};
+  int comm{0};
+  bool operator==(const ChannelKey&) const = default;
 };
 
-/// Rendezvous context for one collective instance.
-struct CollCtx {
-  std::mutex m;
-  std::condition_variable cv;
+struct ChannelKeyHash {
+  std::size_t operator()(const ChannelKey& k) const {
+    std::size_t h = std::hash<int>{}(k.src);
+    h = hash_combine(h, std::hash<int>{}(k.dst));
+    h = hash_combine(h, std::hash<int>{}(k.tag));
+    return hash_combine(h, std::hash<int>{}(k.comm));
+  }
+};
+
+/// One collective instance under construction: arrived members plus the
+/// tasks suspended until the last member arrives.
+struct CollGroup {
   std::vector<CollMember> members;
   Rank root{kNoRank};
   RegionId region;
-  bool done{false};
-  std::vector<WaitHit> hits;
+  std::vector<std::size_t> waiters;
 };
 
-class CollCtxMap {
- public:
-  CollCtx& get(int comm, int seq) {
-    const auto key = std::pair(comm, seq);
-    std::lock_guard<std::mutex> lock(m_);
-    auto& slot = map_[key];
-    if (!slot) slot = std::make_unique<CollCtx>();
-    return *slot;
+struct CollKey {
+  int comm{0};
+  int seq{0};
+  bool operator==(const CollKey&) const = default;
+};
+
+struct CollKeyHash {
+  std::size_t operator()(const CollKey& k) const {
+    return hash_combine(std::hash<int>{}(k.comm), std::hash<int>{}(k.seq));
   }
+};
 
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
-
- private:
-  std::mutex m_;
-  std::map<std::pair<int, int>, std::unique_ptr<CollCtx>> map_;
+/// Mutable replay state of one rank task between suspensions.
+struct RankTask {
+  std::size_t cursor{0};       ///< position in the rank's op-event list
+  std::vector<int> coll_seq;   ///< per-communicator instance counter
+  std::vector<P2pRecord> records;
 };
 
 }  // namespace
 
-AnalysisResult analyze_parallel(const tracing::TraceCollection& tc) {
+AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
+                                const ReplayOptions& opts) {
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
             "analyze_parallel requires synchronized timestamps");
   AnalysisResult res;
   // Definition unification runs serially (as SCALASCA's does) so that
-  // call-path ids match the serial analyzer exactly.
+  // call-path ids match the serial analyzer exactly. It also validates
+  // collective completeness, so no replay task can wait forever on an
+  // instance that never completes.
   const PreparedTrace prep = prepare(tc);
   res.patterns = init_cube(res.cube, tc, prep);
-  const PatternSet& ps = res.patterns;
   const tracing::TraceDefs& defs = tc.defs;
 
-  ChannelMap fwd;
-  CollCtxMap colls;
+  StripedMap<ChannelKey, Channel, ChannelKeyHash> channels;
+  StripedMap<CollKey, CollGroup, CollKeyHash> colls;
   std::atomic<std::size_t> replay_bytes{0};
-  std::atomic<std::size_t> messages{0};
 
-  const int n = tc.num_ranks();
-  std::vector<std::vector<WaitHit>> worker_hits(
-      static_cast<std::size_t>(n));
-  std::vector<std::exception_ptr> worker_error(
-      static_cast<std::size_t>(n));
+  const auto n = static_cast<std::size_t>(tc.num_ranks());
+  std::vector<RankTask> tasks(n);
+  for (auto& t : tasks) t.coll_seq.assign(defs.comms.size(), 0);
 
-  auto worker = [&](Rank me) {
-    try {
-      const auto ri = static_cast<std::size_t>(me);
-      const auto& trace = tc.ranks[ri];
-      const auto& ann = prep.per_rank[ri];
-      auto& hits = worker_hits[ri];
-      std::map<int, int> coll_seq;
+  ReplayScheduler sched(n, opts.max_workers);
 
-      for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
-        const auto& e = trace.events[i];
-        switch (e.type) {
-          case EventType::Send: {
-            PeerInfo mine{me, ann.op_enter[i], ann.op_exit[i], ann.cnode[i]};
-            fwd.get(me, e.peer, e.tag, e.comm.get()).push(mine);
-            replay_bytes += kPeerWireBytes;
-            break;
-          }
-          case EventType::Recv: {
-            const PeerInfo send_side =
-                fwd.get(e.peer, me, e.tag, e.comm.get()).pop();
-            messages += 1;
-            // The receiver holds both sides' data and evaluates both
-            // point-to-point patterns with the shared formulas. Regions
-            // come from the (read-only) unified call tree.
-            P2pSide send_s{send_side.rank, send_side.op_enter,
-                           send_side.op_exit, send_side.cnode,
-                           prep.calls.node(send_side.cnode).region};
-            P2pSide recv_s{me, ann.op_enter[i], ann.op_exit[i],
-                           ann.cnode[i],
-                           prep.calls.node(ann.cnode[i]).region};
-            p2p_hits(ps, defs, send_s, recv_s, hits);
-            break;
-          }
-          case EventType::CollExit: {
-            const int seq = coll_seq[e.comm.get()]++;
-            CollCtx& ctx = colls.get(e.comm.get(), seq);
-            const auto& comm =
-                defs.comms[static_cast<std::size_t>(e.comm.get())];
+  auto step = [&](std::size_t ti) -> StepResult {
+    const Rank me = static_cast<Rank>(ti);
+    const auto& trace = tc.ranks[ti];
+    const auto& ann = prep.per_rank[ti];
+    RankTask& st = tasks[ti];
+
+    while (st.cursor < ann.op_events.size()) {
+      const std::uint32_t i = ann.op_events[st.cursor];
+      const auto& e = trace.events[i];
+      switch (e.type) {
+        case EventType::Send: {
+          std::size_t waiter = kNoWaiter;
+          channels.with(
+              ChannelKey{me, e.peer, e.tag, e.comm.get()},
+              [&](Channel& c) {
+                c.q.push_back(PeerInfo{me, ann.op_enter[i], ann.op_exit[i],
+                                       ann.cnode[i]});
+                std::swap(waiter, c.waiter);
+              });
+          replay_bytes.fetch_add(kPeerWireBytes,
+                                 std::memory_order_relaxed);
+          ++st.cursor;
+          if (waiter != kNoWaiter) sched.resume(waiter);
+          break;
+        }
+        case EventType::Recv: {
+          PeerInfo got;
+          bool have = false;
+          channels.with(ChannelKey{e.peer, me, e.tag, e.comm.get()},
+                        [&](Channel& c) {
+                          if (!c.q.empty()) {
+                            got = c.q.front();
+                            c.q.pop_front();
+                            have = true;
+                          } else {
+                            c.waiter = ti;
+                          }
+                        });
+          // Suspend *before* consuming: the sender that fills the
+          // channel resumes us and the retry is guaranteed to pop.
+          if (!have) return StepResult::Suspend;
+          st.records.push_back(
+              P2pRecord{P2pSide{got.rank, got.op_enter, got.op_exit,
+                                got.cnode,
+                                prep.calls.node(got.cnode).region},
+                        make_side(prep, me, i), i});
+          ++st.cursor;
+          break;
+        }
+        case EventType::CollExit: {
+          const int comm_id = e.comm.get();
+          const int seq =
+              st.coll_seq[static_cast<std::size_t>(comm_id)]++;
+          const auto& comm =
+              defs.comms[static_cast<std::size_t>(comm_id)];
+          bool complete = false;
+          std::vector<std::size_t> waiters;
+          colls.with(CollKey{comm_id, seq}, [&](CollGroup& g) {
             CollMember m;
             m.rank = me;
             m.enter = ann.op_enter[i];
             m.exit = ann.op_exit[i];
             m.cnode = ann.cnode[i];
-            std::unique_lock<std::mutex> lock(ctx.m);
-            ctx.members.push_back(m);
-            ctx.root = e.root;
-            ctx.region = e.region;
-            replay_bytes += kPeerWireBytes;
-            if (ctx.members.size() == comm.members.size()) {
-              const CollectiveKind kind =
-                  collective_kind(defs.regions.name(ctx.region));
-              collective_hits(ps, defs, kind, comm.members, ctx.members,
-                              ctx.root, ctx.hits);
-              ctx.done = true;
-              // The last arriver adopts the instance's hits.
-              hits.insert(hits.end(), ctx.hits.begin(), ctx.hits.end());
-              lock.unlock();
-              ctx.cv.notify_all();
+            g.members.push_back(m);
+            g.root = e.root;
+            g.region = e.region;
+            if (g.members.size() == comm.members.size()) {
+              complete = true;
+              waiters.swap(g.waiters);
             } else {
-              ctx.cv.wait(lock, [&ctx] { return ctx.done; });
+              g.waiters.push_back(ti);
             }
-            break;
-          }
-          case EventType::Enter:
-          case EventType::Exit:
-            break;
+          });
+          replay_bytes.fetch_add(kPeerWireBytes,
+                                 std::memory_order_relaxed);
+          // Our arrival is recorded either way: advance past the event
+          // before suspending so the resumed task does not re-enroll.
+          ++st.cursor;
+          if (!complete) return StepResult::Suspend;
+          for (const std::size_t w : waiters) sched.resume(w);
+          break;
         }
+        case EventType::Enter:
+        case EventType::Exit:
+          // Unreachable: op_events holds communication events only.
+          ++st.cursor;
+          break;
       }
-    } catch (...) {
-      worker_error[static_cast<std::size_t>(me)] = std::current_exception();
     }
+    return StepResult::Done;
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (Rank r = 0; r < n; ++r) threads.emplace_back(worker, r);
-  for (auto& t : threads) t.join();
-  for (const auto& err : worker_error)
-    if (err) std::rethrow_exception(err);
+  sched.run(step);
 
-  for (const auto& hits : worker_hits)
-    for (const auto& h : hits) apply_hit(res.cube, h);
+  std::vector<P2pRecord> p2p;
+  for (auto& t : tasks) {
+    p2p.insert(p2p.end(), t.records.begin(), t.records.end());
+    t.records.clear();
+  }
+  std::vector<CollInstance> instances;
+  colls.for_each([&](const CollKey& key, CollGroup& g) {
+    CollInstance inst;
+    inst.comm = key.comm;
+    inst.seq = key.seq;
+    inst.members = std::move(g.members);
+    inst.root = g.root;
+    inst.region = g.region;
+    instances.push_back(std::move(inst));
+  });
 
-  res.stats.messages = messages.load();
-  res.stats.collective_instances = colls.size();
+  accumulate(res.patterns, defs, std::move(p2p), std::move(instances),
+             res.cube, res.stats);
+  fill_trace_stats(tc, res.stats);
   res.stats.replay_bytes = replay_bytes.load();
-  res.stats.events = tc.total_events();
-  for (const auto& t : tc.ranks)
-    res.stats.trace_bytes += tracing::encode_local_trace(t).size();
+  const SchedulerStats& ss = sched.stats();
+  res.stats.replay_workers = ss.workers;
+  res.stats.replay_tasks = ss.tasks;
+  res.stats.replay_suspensions = ss.suspensions;
+  res.stats.replay_steals = ss.steals;
+  res.stats.replay_requeues = ss.requeues;
   return res;
 }
 

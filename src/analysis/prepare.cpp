@@ -88,6 +88,9 @@ PreparedTrace prepare(const tracing::TraceCollection& tc) {
           break;
         }
       }
+      if (e.type == EventType::Send || e.type == EventType::Recv ||
+          e.type == EventType::CollExit)
+        ann.op_events.push_back(i);
     }
     if (!stack.empty()) fail(static_cast<std::uint32_t>(n), "unclosed region");
 
@@ -99,6 +102,39 @@ PreparedTrace prepare(const tracing::TraceCollection& tc) {
     if (!trace.events.empty())
       out.rank_span[ri] =
           trace.events.back().time - trace.events.front().time;
+  }
+
+  // Validate collective-instance completeness up front: every member of
+  // a communicator must have recorded the same number of collectives on
+  // it. Failing here (instead of mid-replay) lets the parallel analyzer
+  // reject a truncated trace before any worker could wait on an instance
+  // that will never complete.
+  std::vector<std::vector<int>> coll_counts(
+      tc.defs.comms.size(),
+      std::vector<int>(static_cast<std::size_t>(tc.num_ranks()), 0));
+  for (const auto& trace : tc.ranks) {
+    const auto ri = static_cast<std::size_t>(trace.rank);
+    for (const std::uint32_t i : out.per_rank[ri].op_events) {
+      const Event& e = trace.events[i];
+      if (e.type == EventType::CollExit)
+        ++coll_counts[static_cast<std::size_t>(e.comm.get())][ri];
+    }
+  }
+  for (const auto& comm : tc.defs.comms) {
+    const auto& counts = coll_counts[static_cast<std::size_t>(comm.id.get())];
+    for (const Rank r : comm.members) {
+      const int expected =
+          counts[static_cast<std::size_t>(comm.members.front())];
+      if (counts[static_cast<std::size_t>(r)] != expected) {
+        std::ostringstream os;
+        os << "incomplete collective instance in trace: rank " << r
+           << " recorded " << counts[static_cast<std::size_t>(r)]
+           << " collectives on communicator " << comm.id.get()
+           << " but rank " << comm.members.front() << " recorded "
+           << expected;
+        throw Error(os.str());
+      }
+    }
   }
   return out;
 }

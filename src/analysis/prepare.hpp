@@ -5,6 +5,7 @@
 // bit-identical between the serial and the parallel analysis.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "report/cube.hpp"
@@ -23,6 +24,10 @@ struct EventAnnotations {
   /// For Send/Recv/CollExit events: timestamp of the enclosing MPI call's
   /// Exit (== CollExit time for collectives).
   std::vector<double> op_exit;
+  /// Indices of the communication events (Send/Recv/CollExit), in trace
+  /// order. Replay loops iterate this instead of the full event vector,
+  /// skipping Enter/Exit entirely.
+  std::vector<std::uint32_t> op_events;
 };
 
 /// One (call path, seconds) exclusive-time contribution.
@@ -42,7 +47,9 @@ struct PreparedTrace {
 };
 
 /// Annotates all ranks. Throws Error on malformed traces (unbalanced
-/// Enter/Exit, events outside any region).
+/// Enter/Exit, events outside any region) and on incomplete collective
+/// instances (a communicator member missing from a collective), so both
+/// analyzers fail fast before any replay starts.
 PreparedTrace prepare(const tracing::TraceCollection& tc);
 
 }  // namespace metascope::analysis

@@ -1,0 +1,109 @@
+#include "analysis/replay_core.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/patterns.hpp"
+#include "common/error.hpp"
+#include "tracing/epilog_io.hpp"
+
+namespace metascope::analysis {
+
+using tracing::EventType;
+
+P2pSide make_side(const PreparedTrace& prep, Rank rank, std::uint32_t index) {
+  const auto& ann = prep.per_rank[static_cast<std::size_t>(rank)];
+  P2pSide s;
+  s.rank = rank;
+  s.op_enter = ann.op_enter[index];
+  s.op_exit = ann.op_exit[index];
+  s.cnode = ann.cnode[index];
+  s.region = prep.calls.node(s.cnode).region;
+  return s;
+}
+
+std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
+                                            const PreparedTrace& prep) {
+  std::vector<CollInstance> out;
+  // (comm, seq) packed into one word -> index into `out`.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<int> coll_seq(tc.defs.comms.size());
+  for (const auto& trace : tc.ranks) {
+    const auto ri = static_cast<std::size_t>(trace.rank);
+    const auto& ann = prep.per_rank[ri];
+    std::fill(coll_seq.begin(), coll_seq.end(), 0);
+    for (const std::uint32_t i : ann.op_events) {
+      const auto& e = trace.events[i];
+      if (e.type != EventType::CollExit) continue;
+      const int comm = e.comm.get();
+      const int seq = coll_seq[static_cast<std::size_t>(comm)]++;
+      const std::uint64_t key = (static_cast<std::uint64_t>(
+                                     static_cast<std::uint32_t>(comm))
+                                 << 32) |
+                                static_cast<std::uint32_t>(seq);
+      auto [it, fresh] = index.try_emplace(key, out.size());
+      if (fresh) {
+        out.emplace_back();
+        out.back().comm = comm;
+        out.back().seq = seq;
+      }
+      CollInstance& inst = out[it->second];
+      CollMember m;
+      m.rank = trace.rank;
+      m.enter = ann.op_enter[i];
+      m.exit = ann.op_exit[i];
+      m.cnode = ann.cnode[i];
+      inst.members.push_back(m);
+      inst.root = e.root;
+      inst.region = e.region;
+    }
+  }
+  return out;
+}
+
+void accumulate(const PatternSet& ps, const tracing::TraceDefs& defs,
+                std::vector<P2pRecord>&& p2p,
+                std::vector<CollInstance>&& colls, report::Cube& cube,
+                AnalysisStats& stats) {
+  // Canonical order, independent of collection order: p2p by (receiver,
+  // receive position), instances by (comm, seq), members by rank.
+  std::sort(p2p.begin(), p2p.end(),
+            [](const P2pRecord& a, const P2pRecord& b) {
+              if (a.recv.rank != b.recv.rank) return a.recv.rank < b.recv.rank;
+              return a.recv_index < b.recv_index;
+            });
+  std::sort(colls.begin(), colls.end(),
+            [](const CollInstance& a, const CollInstance& b) {
+              if (a.comm != b.comm) return a.comm < b.comm;
+              return a.seq < b.seq;
+            });
+
+  std::vector<WaitHit> hits;
+  for (const P2pRecord& r : p2p) p2p_hits(ps, defs, r.send, r.recv, hits);
+  for (CollInstance& inst : colls) {
+    const auto& comm = defs.comms[static_cast<std::size_t>(inst.comm)];
+    MSC_CHECK(inst.members.size() == comm.members.size(),
+              "incomplete collective instance in trace");
+    std::sort(inst.members.begin(), inst.members.end(),
+              [](const CollMember& a, const CollMember& b) {
+                return a.rank < b.rank;
+              });
+    const CollectiveKind kind =
+        collective_kind(defs.regions.name(inst.region));
+    collective_hits(ps, defs, kind, comm.members, inst.members, inst.root,
+                    hits);
+  }
+  for (const WaitHit& h : hits) apply_hit(cube, h);
+
+  stats.messages = p2p.size();
+  stats.collective_instances = colls.size();
+}
+
+void fill_trace_stats(const tracing::TraceCollection& tc,
+                      AnalysisStats& stats) {
+  stats.events = tc.total_events();
+  for (const auto& t : tc.ranks)
+    stats.trace_bytes += tracing::encode_local_trace(t).size();
+}
+
+}  // namespace metascope::analysis

@@ -1,0 +1,72 @@
+// The replay core shared by both analyzers. The serial (merged-trace)
+// and parallel (replay) analyzers used to duplicate the p2p-side
+// construction, collective-instance grouping, and hit accumulation; they
+// now differ only in *how* they collect the raw match records:
+//
+//  - analyze_serial matches messages post-mortem and walks each rank's
+//    op events once;
+//  - analyze_parallel re-enacts the communication on a bounded worker
+//    pool and collects the same records from the replay.
+//
+// Either way the records funnel into accumulate(), which evaluates the
+// shared wait-state formulas in one canonical order — p2p records by
+// (receiver rank, receive position), collective instances by
+// (communicator, sequence) with members sorted by rank. Canonical order
+// makes the floating-point accumulation identical between analyzers and
+// across repeated parallel runs: cubes are bit-identical, not merely
+// close, regardless of worker count or interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/prepare.hpp"
+#include "analysis/wait_rules.hpp"
+#include "tracing/trace.hpp"
+
+namespace metascope::analysis {
+
+/// One matched point-to-point message, both sides fully resolved.
+struct P2pRecord {
+  P2pSide send;
+  P2pSide recv;
+  /// Receive event's index in the receiver's trace — with recv.rank the
+  /// canonical sort key (each Recv event matches exactly one message).
+  std::uint32_t recv_index{0};
+};
+
+/// One collective instance: the seq-th collective on a communicator.
+struct CollInstance {
+  int comm{0};
+  int seq{0};
+  std::vector<CollMember> members;
+  Rank root{kNoRank};
+  RegionId region;
+};
+
+/// Builds one side of a p2p transfer from a rank's annotated event.
+P2pSide make_side(const PreparedTrace& prep, Rank rank, std::uint32_t index);
+
+/// Groups every CollExit event into instances keyed by (comm, seq) using
+/// per-rank flat sequence counters. Used by the serial analyzer; the
+/// parallel analyzer builds the same instances during the replay.
+std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
+                                            const PreparedTrace& prep);
+
+/// Evaluates the shared pattern formulas over the collected records in
+/// canonical order and applies every hit to the cube. Fills
+/// stats.messages / stats.collective_instances. Throws Error on an
+/// incomplete collective instance (prepare() validates the same
+/// condition earlier; this is the last line of defense).
+void accumulate(const PatternSet& ps, const tracing::TraceDefs& defs,
+                std::vector<P2pRecord>&& p2p,
+                std::vector<CollInstance>&& colls, report::Cube& cube,
+                AnalysisStats& stats);
+
+/// Fills the trace-volume stats both analyzers report (total events,
+/// encoded trace bytes).
+void fill_trace_stats(const tracing::TraceCollection& tc,
+                      AnalysisStats& stats);
+
+}  // namespace metascope::analysis

@@ -1,0 +1,184 @@
+#include "analysis/replay_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace metascope::analysis {
+
+namespace {
+
+// Per-task lifecycle. Parked tasks are owned by the resource they wait
+// on; the Running<->Notified leg absorbs a resume() that lands while the
+// suspending step is still unwinding on its worker.
+constexpr int kRunning = 0;
+constexpr int kParked = 1;
+constexpr int kNotified = 2;
+
+// Worker index of the current thread, so tasks resumed from inside a
+// step land on the resuming worker's own deque (cheap, cache-friendly);
+// other workers steal them if the owner stays busy.
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
+                                 std::size_t max_workers)
+    : num_tasks_(num_tasks),
+      num_workers_(std::min(
+          num_tasks == 0 ? std::size_t{1} : num_tasks,
+          max_workers != 0
+              ? max_workers
+              : std::max<std::size_t>(
+                    1, std::thread::hardware_concurrency()))),
+      queues_(num_workers_),
+      state_(new std::atomic<int>[num_tasks == 0 ? 1 : num_tasks]) {
+  for (std::size_t t = 0; t < num_tasks_; ++t)
+    state_[t].store(kRunning, std::memory_order_relaxed);
+  stats_.workers = num_workers_;
+  stats_.tasks = num_tasks_;
+}
+
+void ReplayScheduler::push(std::size_t wid, std::size_t task) {
+  {
+    std::lock_guard<std::mutex> lock(queues_[wid].m);
+    queues_[wid].dq.push_back(task);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ReplayScheduler::pop_local(std::size_t wid, std::size_t& task) {
+  std::lock_guard<std::mutex> lock(queues_[wid].m);
+  if (queues_[wid].dq.empty()) return false;
+  task = queues_[wid].dq.front();
+  queues_[wid].dq.pop_front();
+  return true;
+}
+
+bool ReplayScheduler::steal(std::size_t wid, std::size_t& task) {
+  for (std::size_t k = 1; k < num_workers_; ++k) {
+    WorkerQueue& victim = queues_[(wid + k) % num_workers_];
+    std::lock_guard<std::mutex> lock(victim.m);
+    if (victim.dq.empty()) continue;
+    // Steal from the back: the front is the victim's warmest work.
+    task = victim.dq.back();
+    victim.dq.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ReplayScheduler::fail(std::exception_ptr err) {
+  {
+    std::lock_guard<std::mutex> lock(err_m_);
+    if (!first_error_) first_error_ = err;
+  }
+  stop_.store(true);
+  idle_cv_.notify_all();
+}
+
+void ReplayScheduler::resume(std::size_t task) {
+  for (;;) {
+    int s = state_[task].load();
+    if (s == kParked) {
+      if (state_[task].compare_exchange_strong(s, kRunning)) {
+        inflight_.fetch_add(1);
+        requeues_.fetch_add(1, std::memory_order_relaxed);
+        push(tls_worker, task);
+        return;
+      }
+    } else if (s == kRunning) {
+      // The task is still unwinding from the step that registered the
+      // wait; leave a note for its worker to requeue it.
+      if (state_[task].compare_exchange_strong(s, kNotified)) return;
+    } else {
+      return;  // already notified
+    }
+  }
+}
+
+void ReplayScheduler::run_task(std::size_t task, const StepFn& step) {
+  StepResult r;
+  try {
+    r = step(task);
+  } catch (...) {
+    fail(std::current_exception());
+    return;
+  }
+  if (r == StepResult::Done) {
+    done_.fetch_add(1);
+    inflight_.fetch_sub(1);
+    if (done_.load() == num_tasks_) idle_cv_.notify_all();
+    return;
+  }
+  suspensions_.fetch_add(1, std::memory_order_relaxed);
+  int expected = kRunning;
+  if (state_[task].compare_exchange_strong(expected, kParked)) {
+    inflight_.fetch_sub(1);
+  } else {
+    // resume() beat us to it (state is Notified): the wait is already
+    // satisfied, so the task goes straight back to our deque.
+    state_[task].store(kRunning);
+    requeues_.fetch_add(1, std::memory_order_relaxed);
+    push(tls_worker, task);
+  }
+}
+
+void ReplayScheduler::worker_loop(std::size_t wid, const StepFn& step) {
+  tls_worker = wid;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::size_t task;
+    if (pop_local(wid, task) || steal(wid, task)) {
+      run_task(task, step);
+      continue;
+    }
+    if (done_.load() == num_tasks_) return;
+    if (inflight_.load() == 0) {
+      // Re-check completion: the final Done increments done_ before
+      // inflight_, so a zero inflight_ with done_ short of the total
+      // means the remaining tasks are parked with no runner left to
+      // ever wake them.
+      if (done_.load() == num_tasks_) return;
+      deadlock_.store(true);
+      stop_.store(true);
+      idle_cv_.notify_all();
+      return;
+    }
+    // Another worker holds runnable work (or a resume is in flight);
+    // doze until pushed work notifies us. The timeout makes the loop
+    // robust against the notify racing our wait.
+    std::unique_lock<std::mutex> lock(idle_m_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+void ReplayScheduler::run(const StepFn& step) {
+  if (num_tasks_ == 0) return;
+  inflight_.store(num_tasks_);
+  for (std::size_t t = 0; t < num_tasks_; ++t) push(t % num_workers_, t);
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers_);
+  for (std::size_t w = 0; w < num_workers_; ++w)
+    pool.emplace_back([this, w, &step] { worker_loop(w, step); });
+  for (auto& t : pool) t.join();
+
+  stats_.suspensions = suspensions_.load();
+  stats_.steals = steals_.load();
+  stats_.requeues = requeues_.load();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  if (deadlock_.load()) {
+    const std::size_t stuck = num_tasks_ - done_.load();
+    throw Error("parallel replay deadlocked: " + std::to_string(stuck) +
+                " of " + std::to_string(num_tasks_) +
+                " rank tasks suspended with no runnable peer (unmatched "
+                "receive or truncated trace?)");
+  }
+}
+
+}  // namespace metascope::analysis

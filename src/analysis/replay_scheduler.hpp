@@ -1,0 +1,114 @@
+// Bounded worker-pool scheduler for the parallel replay.
+//
+// The old parallel analyzer spawned one OS thread per application rank
+// and parked it in a condition-variable wait whenever its replay had to
+// wait for a peer — fine for 32 ranks, hopeless for thousands. Here each
+// rank's replay is a resumable task: a cursor over its op events that
+// *suspends* (returns control to the pool) on an unsatisfied Recv or an
+// incomplete collective instead of blocking a thread. A fixed pool of
+// workers — hardware concurrency by default — drives all tasks, each
+// worker owning a deque of runnable tasks and stealing from its peers
+// when it runs dry.
+//
+// Suspension protocol: before returning Suspend, the task registers
+// itself with the awaited resource (under that resource's lock). The
+// task that later satisfies the resource calls resume(). The inevitable
+// race — resume() arriving while the suspending step is still unwinding
+// on its worker — is resolved with a per-task state machine
+// (Running / Parked / Notified): whichever side loses the CAS hands the
+// task back to a run queue, so a wakeup is never lost and a task never
+// runs on two workers at once.
+//
+// If every task is suspended and none is runnable, no resume() can ever
+// arrive (only running tasks signal), so the scheduler reports the
+// deadlock as an Error instead of hanging — e.g. a truncated trace whose
+// Recv has no matching Send.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace metascope::analysis {
+
+enum class StepResult {
+  Done,     ///< the task finished its whole replay
+  Suspend,  ///< the task registered with a resource and yields its worker
+};
+
+struct SchedulerStats {
+  std::size_t workers{0};      ///< pool size actually used
+  std::size_t tasks{0};        ///< tasks driven to completion
+  std::size_t suspensions{0};  ///< times a step returned Suspend
+  std::size_t steals{0};       ///< tasks taken from another worker's deque
+  std::size_t requeues{0};     ///< tasks re-enqueued after a resume
+};
+
+class ReplayScheduler {
+ public:
+  /// `max_workers` == 0 selects std::thread::hardware_concurrency();
+  /// the pool never exceeds the task count.
+  ReplayScheduler(std::size_t num_tasks, std::size_t max_workers = 0);
+
+  using StepFn = std::function<StepResult(std::size_t task)>;
+
+  /// Drives every task to Done. `step(t)` advances task t until it
+  /// finishes or suspends; a suspending step must arrange for resume(t)
+  /// to be called by whichever task satisfies the awaited resource.
+  /// Throws Error if the replay deadlocks (all unfinished tasks
+  /// suspended with nothing left running) and rethrows the first
+  /// exception any step raised.
+  void run(const StepFn& step);
+
+  /// Marks a suspended task runnable. Must be called from inside a
+  /// running step (i.e. on a worker thread). Safe against the
+  /// suspend/resume race; at most one resume may be issued per
+  /// suspension.
+  void resume(std::size_t task);
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::size_t> dq;
+  };
+
+  void worker_loop(std::size_t wid, const StepFn& step);
+  void run_task(std::size_t task, const StepFn& step);
+  void push(std::size_t wid, std::size_t task);
+  bool pop_local(std::size_t wid, std::size_t& task);
+  bool steal(std::size_t wid, std::size_t& task);
+  void fail(std::exception_ptr err);
+
+  std::size_t num_tasks_;
+  std::size_t num_workers_;
+  std::vector<WorkerQueue> queues_;
+  std::unique_ptr<std::atomic<int>[]> state_;
+
+  std::atomic<std::size_t> done_{0};
+  /// Tasks queued or currently running (not parked). When this reaches
+  /// zero with done_ < num_tasks_, the replay has deadlocked.
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> deadlock_{false};
+
+  std::mutex idle_m_;
+  std::condition_variable idle_cv_;
+
+  std::mutex err_m_;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::size_t> suspensions_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> requeues_{0};
+  SchedulerStats stats_;
+};
+
+}  // namespace metascope::analysis

@@ -1,31 +1,11 @@
-#include <map>
-
 #include "analysis/analyzer.hpp"
 #include "analysis/base_accum.hpp"
 #include "analysis/prepare.hpp"
-#include "analysis/wait_rules.hpp"
+#include "analysis/replay_core.hpp"
 #include "common/error.hpp"
-#include "tracing/epilog_io.hpp"
 #include "tracing/matching.hpp"
 
 namespace metascope::analysis {
-
-using tracing::EventType;
-
-namespace {
-
-P2pSide side_of(const PreparedTrace& prep, const tracing::EventRef& ref) {
-  const auto& ann = prep.per_rank[static_cast<std::size_t>(ref.rank)];
-  P2pSide s;
-  s.rank = ref.rank;
-  s.op_enter = ann.op_enter[ref.index];
-  s.op_exit = ann.op_exit[ref.index];
-  s.cnode = ann.cnode[ref.index];
-  s.region = prep.calls.node(s.cnode).region;
-  return s;
-}
-
-}  // namespace
 
 AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
@@ -33,61 +13,22 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
   AnalysisResult res;
   const PreparedTrace prep = prepare(tc);
   res.patterns = init_cube(res.cube, tc, prep);
-  const PatternSet& ps = res.patterns;
 
-  std::vector<WaitHit> hits;
-
-  // --- point-to-point patterns over the matched messages ---------------
+  // Post-mortem matching resolves both sides of every message; the
+  // collective grouping walks each rank's op events once. Evaluation
+  // order is the replay core's canonical order, shared with the
+  // parallel analyzer.
   const auto pairs = tracing::match_messages(tc);
-  res.stats.messages = pairs.size();
+  std::vector<P2pRecord> p2p;
+  p2p.reserve(pairs.size());
   for (const auto& p : pairs)
-    p2p_hits(ps, tc.defs, side_of(prep, p.send), side_of(prep, p.recv),
-             hits);
+    p2p.push_back(P2pRecord{make_side(prep, p.send.rank, p.send.index),
+                            make_side(prep, p.recv.rank, p.recv.index),
+                            p.recv.index});
 
-  // --- collective patterns over grouped instances ----------------------
-  struct Instance {
-    std::vector<CollMember> members;
-    Rank root{kNoRank};
-    RegionId region;
-  };
-  std::map<std::pair<int, int>, Instance> instances;  // (comm, seq)
-  std::vector<std::map<int, int>> seq_counter(
-      static_cast<std::size_t>(tc.num_ranks()));
-  for (const auto& trace : tc.ranks) {
-    const auto ri = static_cast<std::size_t>(trace.rank);
-    const auto& ann = prep.per_rank[ri];
-    for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
-      const auto& e = trace.events[i];
-      if (e.type != EventType::CollExit) continue;
-      const int seq = seq_counter[ri][e.comm.get()]++;
-      Instance& inst = instances[{e.comm.get(), seq}];
-      CollMember m;
-      m.rank = trace.rank;
-      m.enter = ann.op_enter[i];
-      m.exit = ann.op_exit[i];
-      m.cnode = ann.cnode[i];
-      inst.members.push_back(m);
-      inst.root = e.root;
-      inst.region = e.region;
-    }
-  }
-  res.stats.collective_instances = instances.size();
-  for (const auto& [key, inst] : instances) {
-    const auto& comm =
-        tc.defs.comms[static_cast<std::size_t>(key.first)];
-    MSC_CHECK(inst.members.size() == comm.members.size(),
-              "incomplete collective instance in trace");
-    const CollectiveKind kind =
-        collective_kind(tc.defs.regions.name(inst.region));
-    collective_hits(ps, tc.defs, kind, comm.members, inst.members,
-                    inst.root, hits);
-  }
-
-  for (const auto& h : hits) apply_hit(res.cube, h);
-
-  res.stats.events = tc.total_events();
-  for (const auto& t : tc.ranks)
-    res.stats.trace_bytes += tracing::encode_local_trace(t).size();
+  accumulate(res.patterns, tc.defs, std::move(p2p),
+             group_collectives(tc, prep), res.cube, res.stats);
+  fill_trace_stats(tc, res.stats);
   return res;
 }
 

@@ -1,0 +1,71 @@
+// Lock-striped hash map for the parallel replay's shared registries
+// (message channels, collective-instance groups). A single global mutex
+// over a std::map serializes every rank on one cache line; striping by
+// key hash lets unrelated channels proceed in parallel while keeping the
+// per-key critical sections trivial to reason about: all access happens
+// inside a callback that runs under the owning shard's lock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace metascope::analysis {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  explicit StripedMap(std::size_t num_shards = 64)
+      : shards_(num_shards ? num_shards : 1) {}
+
+  /// Runs `fn(Value&)` under the owning shard's lock, default-creating
+  /// the value on first use. Returns fn's result.
+  template <typename Fn>
+  auto with(const Key& key, Fn&& fn) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    return std::forward<Fn>(fn)(s.map[key]);
+  }
+
+  /// Visits every (key, value) pair, shard by shard, under each shard's
+  /// lock. Iteration order is unspecified; callers needing a canonical
+  /// order must sort what they collect.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.m);
+      for (auto& [key, value] : s.map) fn(key, value);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.m);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard_of(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+/// boost-style hash combiner for composite keys.
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace metascope::analysis

@@ -1,0 +1,204 @@
+// Replay-core + scheduler properties: the pooled parallel analyzer must
+// produce a cube *bit-identical* to the serial analyzer for any worker
+// count and any interleaving (the canonical-order accumulation makes
+// floating-point sums order-independent across runs); malformed traces
+// fail fast instead of hanging a worker forever.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/replay_scheduler.hpp"
+#include "clocksync/correction.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simnet/presets.hpp"
+#include "workloads/experiment.hpp"
+
+namespace metascope::analysis {
+namespace {
+
+using tracing::EventType;
+
+/// Mixed p2p + collective program with per-rank jitter: ring shifts,
+/// random pair chatter, staggered barriers/allreduces, rooted
+/// collectives.
+simmpi::Program jittered_program(int nranks, std::uint64_t seed,
+                                 int steps) {
+  Rng rng(seed);
+  simmpi::ProgramBuilder b(nranks);
+  for (Rank r = 0; r < nranks; ++r) b.on(r).enter("main");
+  for (int s = 0; s < steps; ++s) {
+    switch (rng.uniform_index(4)) {
+      case 0: {  // ring shift
+        for (Rank r = 0; r < nranks; ++r) {
+          b.on(r).enter("ring").send((r + 1) % nranks, s, 2048.0);
+          b.on(r).recv((r + nranks - 1) % nranks, s).exit();
+        }
+        break;
+      }
+      case 1: {  // staggered barrier
+        for (Rank r = 0; r < nranks; ++r)
+          b.on(r).compute(rng.uniform(0.0, 0.01)).barrier();
+        break;
+      }
+      case 2: {  // allreduce
+        for (Rank r = 0; r < nranks; ++r)
+          b.on(r).compute(rng.uniform(0.0, 0.005)).allreduce(512.0);
+        break;
+      }
+      default: {  // rooted pair
+        const Rank root = static_cast<Rank>(rng.uniform_index(nranks));
+        for (Rank r = 0; r < nranks; ++r) {
+          b.on(r).compute(rng.uniform(0.0, 0.004));
+          b.on(r).bcast(root, 4096.0);
+          b.on(r).reduce(root, 256.0);
+        }
+        break;
+      }
+    }
+  }
+  for (Rank r = 0; r < nranks; ++r) b.on(r).exit();
+  return b.take();
+}
+
+tracing::TraceCollection jittered_traces(const simnet::Topology& topo,
+                                         std::uint64_t seed, int steps) {
+  const auto prog = jittered_program(topo.num_ranks(), seed, steps);
+  workloads::ExperimentConfig cfg;
+  cfg.measurement.scheme = tracing::SyncScheme::HierarchicalTwo;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  clocksync::synchronize(data.traces);
+  return std::move(data.traces);
+}
+
+tracing::TraceCollection perfect_traces(const simnet::Topology& topo,
+                                        const simmpi::Program& prog) {
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  return std::move(workloads::run_experiment(topo, prog, cfg).traces);
+}
+
+// --- bit-identical across worker counts --------------------------------------
+
+class WorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkerSweep, PooledCubeBitIdenticalToSerial) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto tc = jittered_traces(topo, 7ULL, 10);
+  const auto s = analyze_serial(tc);
+  ReplayOptions opts;
+  opts.max_workers = GetParam();
+  const auto p = analyze_parallel(tc, opts);
+  // Tolerance 0: *exactly* equal, not approximately.
+  EXPECT_TRUE(s.cube.approx_equal(p.cube, 0.0));
+  EXPECT_EQ(s.stats.messages, p.stats.messages);
+  EXPECT_EQ(s.stats.collective_instances, p.stats.collective_instances);
+  EXPECT_LE(p.stats.replay_workers, std::max<std::size_t>(GetParam(), 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}, std::size_t{8}));
+
+// --- determinism stress (satellite) ------------------------------------------
+
+TEST(ReplayDeterminism, TwentyRunsBitIdenticalUnderTwoWorkerCap) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto tc = jittered_traces(topo, 99ULL, 12);
+  const auto s = analyze_serial(tc);
+  ReplayOptions opts;
+  opts.max_workers = 2;
+  for (int run = 0; run < 20; ++run) {
+    const auto p = analyze_parallel(tc, opts);
+    ASSERT_TRUE(s.cube.approx_equal(p.cube, 0.0)) << "run " << run;
+    ASSERT_EQ(s.stats.messages, p.stats.messages) << "run " << run;
+    ASSERT_EQ(s.stats.collective_instances, p.stats.collective_instances)
+        << "run " << run;
+  }
+}
+
+// --- many ranks, few workers --------------------------------------------------
+
+TEST(ReplayScaling, ManyRanksOnFourWorkers) {
+  const int n = 256;
+  const auto topo = simnet::make_ibm_power(n);
+  const auto tc = perfect_traces(topo, jittered_program(n, 21ULL, 4));
+  const auto s = analyze_serial(tc);
+  ReplayOptions opts;
+  opts.max_workers = 4;
+  const auto p = analyze_parallel(tc, opts);
+  EXPECT_TRUE(s.cube.approx_equal(p.cube, 0.0));
+  EXPECT_EQ(p.stats.replay_workers, 4u);
+  EXPECT_EQ(p.stats.replay_tasks, static_cast<std::size_t>(n));
+  // With 256 ranks multiplexed onto 4 workers, replay cannot proceed
+  // without suspending at unsatisfied receives / incomplete collectives.
+  EXPECT_GT(p.stats.replay_suspensions, 0u);
+}
+
+// --- malformed traces fail fast (satellite) ----------------------------------
+
+TEST(ReplayFailFast, IncompleteCollectiveRaisesBeforeReplay) {
+  const auto topo = simnet::make_ibm_power(4);
+  simmpi::ProgramBuilder b(4);
+  for (Rank r = 0; r < 4; ++r)
+    b.on(r).enter("main").compute(0.001).barrier().exit();
+  auto tc = perfect_traces(topo, b.take());
+
+  // Drop rank 3's barrier (its Enter + CollExit pair): the instance can
+  // never complete. Both analyzers must reject the trace immediately —
+  // the old parallel analyzer waited forever on the instance's
+  // condition variable.
+  auto& events = tc.ranks[3].events;
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [](const auto& e) { return e.type == EventType::CollExit; });
+  ASSERT_NE(it, events.end());
+  ASSERT_NE(it, events.begin());
+  ASSERT_EQ(std::prev(it)->type, EventType::Enter);
+  events.erase(std::prev(it), std::next(it));
+
+  EXPECT_THROW(analyze_serial(tc), Error);
+  EXPECT_THROW(analyze_parallel(tc), Error);
+}
+
+TEST(ReplayFailFast, UnmatchedReceiveReportsDeadlockNotHang) {
+  const auto topo = simnet::make_ibm_power(2);
+  simmpi::ProgramBuilder b(2);
+  b.on(0).enter("main").send(1, 5, 64.0).exit();
+  b.on(1).enter("main").recv(0, 5).exit();
+  auto tc = perfect_traces(topo, b.take());
+
+  // Drop the Send event: rank 1's receive can never be satisfied. The
+  // scheduler must detect the quiescent replay and raise instead of
+  // leaving the task suspended forever.
+  auto& events = tc.ranks[0].events;
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [](const auto& e) { return e.type == EventType::Send; });
+  ASSERT_NE(it, events.end());
+  events.erase(it);
+
+  EXPECT_THROW(analyze_serial(tc), Error);
+  EXPECT_THROW(analyze_parallel(tc), Error);
+}
+
+// --- scheduler stats ----------------------------------------------------------
+
+TEST(SchedulerStats, CountersPopulated) {
+  const auto topo = simnet::make_viola_experiment1();
+  const auto tc = jittered_traces(topo, 3ULL, 8);
+  ReplayOptions opts;
+  opts.max_workers = 2;
+  const auto p = analyze_parallel(tc, opts);
+  EXPECT_EQ(p.stats.replay_workers, 2u);
+  EXPECT_EQ(p.stats.replay_tasks,
+            static_cast<std::size_t>(tc.num_ranks()));
+  EXPECT_GT(p.stats.replay_suspensions, 0u);
+  // Every suspension is eventually resumed exactly once.
+  EXPECT_EQ(p.stats.replay_requeues, p.stats.replay_suspensions);
+}
+
+}  // namespace
+}  // namespace metascope::analysis

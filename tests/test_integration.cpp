@@ -46,7 +46,14 @@ analysis::AnalysisResult full_pipeline(const std::string& base) {
 class IntegrationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    base_ = (fs::temp_directory_path() / "msc_integration").string();
+    // Per-test directory: ctest -j runs these cases as separate
+    // processes concurrently, and a shared path would let one test's
+    // SetUp wipe another's archive mid-run.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    base_ = (fs::temp_directory_path() /
+             (std::string("msc_integration_") + info->name()))
+                .string();
     fs::remove_all(base_);
     fs::create_directories(base_);
   }
