@@ -18,6 +18,7 @@ using namespace metascope;
 int main() {
   bench::banner("Ablation A1", "serial vs parallel trace analysis");
 
+  bench::BenchReport report("ablate_analyzer");
   TextTable t({"coupling steps", "events", "trace bytes", "replay bytes",
                "replay/trace", "serial [ms]", "parallel [ms]",
                "cubes equal"});
@@ -49,6 +50,16 @@ int main() {
                TextTable::fixed(serial_ms, 1),
                TextTable::fixed(parallel_ms, 1),
                s.cube.approx_equal(p.cube, 1e-12) ? "yes" : "NO"});
+    report.add_row("ablation",
+                   Json{Json::Object{}}
+                       .set("coupling_steps", Json(steps))
+                       .set("events", Json(p.stats.events))
+                       .set("trace_bytes", Json(p.stats.trace_bytes))
+                       .set("replay_bytes", Json(p.stats.replay_bytes))
+                       .set("serial_ms", Json(serial_ms))
+                       .set("parallel_ms", Json(parallel_ms))
+                       .set("cubes_equal",
+                            Json(s.cube.approx_equal(p.cube, 1e-12))));
   }
   std::printf("%s", t.render().c_str());
   bench::note(
@@ -57,5 +68,6 @@ int main() {
       "shared file system and no bulk trace copying between metahosts is\n"
       "needed (paper Sections 3-4). Parallel wall-clock on this 1-core\n"
       "host reflects thread overhead, not the metacomputer speedup.");
+  report.write();
   return 0;
 }

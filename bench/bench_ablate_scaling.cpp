@@ -47,6 +47,7 @@ simnet::Topology scaled_viola(int ranks_per_side) {
 
 int main() {
   bench::banner("Ablation A3", "analysis cost vs process count");
+  bench::BenchReport report("ablate_scaling");
   TextTable t({"ranks", "events", "engine [ms]", "serial [ms]",
                "parallel [ms]", "serial us/event", "replay B/event"});
   for (int per_side : {4, 8, 16, 32, 64}) {
@@ -83,6 +84,17 @@ int main() {
                TextTable::fixed(ms(t2, t3) * 1000.0 / events, 3),
                TextTable::fixed(
                    static_cast<double>(p.stats.replay_bytes) / events, 1)});
+    report.add_row(
+        "scaling",
+        Json{Json::Object{}}
+            .set("ranks", Json(topo.num_ranks()))
+            .set("events", Json(s.stats.events))
+            .set("engine_ms", Json(ms(t0, t1)))
+            .set("serial_ms", Json(ms(t2, t3)))
+            .set("parallel_ms", Json(ms(t3, t4)))
+            .set("serial_us_per_event", Json(ms(t2, t3) * 1000.0 / events))
+            .set("replay_bytes_per_event",
+                 Json(static_cast<double>(p.stats.replay_bytes) / events)));
   }
   std::printf("%s", t.render().c_str());
   bench::note(
@@ -90,5 +102,6 @@ int main() {
       "event count grows with ranks; replay bytes per event stay a small\n"
       "constant. On a real metacomputer the parallel analyzer divides the\n"
       "event work across all CPUs of the run itself (paper Section 3).");
+  report.write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main() {
       {0.25, 2e-5},      // ahead, drifting further ahead
       {-0.10, -1.5e-5},  // behind, drifting further behind
   };
+  bench::BenchReport report("fig1_clockdrift");
   TextTable t({"true time [s]", "clock A [s]", "clock B [s]", "clock C [s]",
                "B - A [us]", "C - A [us]"});
   for (double s : {0.0, 10.0, 100.0, 1000.0}) {
@@ -28,6 +29,11 @@ int main() {
                TextTable::fixed(b, 6), TextTable::fixed(c, 6),
                TextTable::fixed((b - a) * 1e6, 1),
                TextTable::fixed((c - a) * 1e6, 1)});
+    report.add_row("drift",
+                   Json{Json::Object{}}
+                       .set("true_time_s", Json(s))
+                       .set("b_minus_a_us", Json((b - a) * 1e6))
+                       .set("c_minus_a_us", Json((c - a) * 1e6)));
   }
   std::printf("%s", t.render().c_str());
   bench::note(
@@ -35,5 +41,6 @@ int main() {
       "(constant drift), so a single offset measurement goes stale while\n"
       "two measurements + linear interpolation stay accurate (Figure 1 and\n"
       "Section 3 of the paper).");
+  report.write();
   return 0;
 }

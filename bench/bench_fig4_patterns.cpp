@@ -46,62 +46,60 @@ analysis::AnalysisResult analyze(const simnet::Topology& topo,
 int main() {
   bench::banner("Figure 4",
                 "pattern semantics: planted wait vs detected severity");
+  bench::BenchReport report("fig4_patterns");
   TextTable t({"pattern", "planted wait [s]", "detected [s]", "metric hit"});
+  auto emit = [&](const char* label, double planted, double detected,
+                  const char* metric) {
+    t.add_row({label, TextTable::fixed(planted, 3),
+               TextTable::fixed(detected, 3), metric});
+    report.add_row("patterns", Json{Json::Object{}}
+                                   .set("pattern", Json(metric))
+                                   .set("planted_s", Json(planted))
+                                   .set("detected_s", Json(detected)));
+  };
 
   {
     const auto res =
         analyze(cross_topo(1), workloads::late_sender_program(0.40));
-    t.add_row({"Grid Late Sender (Fig 4a)", "0.400",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_late_sender),
-                                3),
-               "Grid Late Sender"});
+    emit("Grid Late Sender (Fig 4a)", 0.400,
+         res.cube.metric_inclusive_total(res.patterns.grid_late_sender),
+         "Grid Late Sender");
   }
   {
     const auto res = analyze(cross_topo(1),
                              workloads::late_receiver_program(0.30, 1 << 20));
-    t.add_row({"Grid Late Receiver", "0.300",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_late_receiver),
-                                3),
-               "Grid Late Receiver"});
+    emit("Grid Late Receiver", 0.300,
+         res.cube.metric_inclusive_total(res.patterns.grid_late_receiver),
+         "Grid Late Receiver");
   }
   {
     const auto res = analyze(
         cross_topo(2), workloads::wait_nxn_program({0.0, 0.1, 0.2, 0.5}));
     // Total = sum over ranks of (0.5 - delay) = 0.5+0.4+0.3+0.0.
-    t.add_row({"Grid Wait at N x N (Fig 4b)", "1.200",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_wait_nxn),
-                                3),
-               "Grid Wait at N x N"});
+    emit("Grid Wait at N x N (Fig 4b)", 1.200,
+         res.cube.metric_inclusive_total(res.patterns.grid_wait_nxn),
+         "Grid Wait at N x N");
   }
   {
     const auto res = analyze(
         cross_topo(2), workloads::wait_barrier_program({0.3, 0.0, 0.1, 0.2}));
-    t.add_row({"Grid Wait at Barrier", "0.600",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_wait_barrier),
-                                3),
-               "Grid Wait at Barrier"});
+    emit("Grid Wait at Barrier", 0.600,
+         res.cube.metric_inclusive_total(res.patterns.grid_wait_barrier),
+         "Grid Wait at Barrier");
   }
   {
     const auto res = analyze(
         cross_topo(2), workloads::early_reduce_program({0.0, 0.2, 0.5, 0.1}));
-    t.add_row({"Grid Early Reduce", "0.500",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_early_reduce),
-                                3),
-               "Grid Early Reduce"});
+    emit("Grid Early Reduce", 0.500,
+         res.cube.metric_inclusive_total(res.patterns.grid_early_reduce),
+         "Grid Early Reduce");
   }
   {
     const auto res =
         analyze(cross_topo(2), workloads::late_broadcast_program(4, 0.35));
-    t.add_row({"Grid Late Broadcast", "1.050",
-               TextTable::fixed(res.cube.metric_inclusive_total(
-                                    res.patterns.grid_late_broadcast),
-                                3),
-               "Grid Late Broadcast"});
+    emit("Grid Late Broadcast", 1.050,
+         res.cube.metric_inclusive_total(res.patterns.grid_late_broadcast),
+         "Grid Late Broadcast");
   }
   std::printf("%s", t.render().c_str());
   bench::note(
@@ -109,5 +107,6 @@ int main() {
       "within network latency, and every pattern lands in its *grid*\n"
       "variant because the communication crosses metahosts (paper Fig. 4\n"
       "and the 'Metacomputing patterns' discussion in Section 4).");
+  report.write();
   return 0;
 }

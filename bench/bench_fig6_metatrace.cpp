@@ -59,6 +59,17 @@ int main() {
                  total)});
   std::printf("%s\n", t.render().c_str());
 
+  bench::BenchReport report("fig6_metatrace");
+  report.set("total_time_s", Json(total));
+  report.set("grid_late_sender_frac",
+             Json(res.cube.metric_inclusive_total(ps.grid_late_sender) /
+                  total));
+  report.set("grid_wait_barrier_frac",
+             Json(res.cube.metric_inclusive_total(ps.grid_wait_barrier) /
+                  total));
+  report.set("events", Json(res.stats.events));
+  report.set("messages", Json(res.stats.messages));
+
   report::RenderOptions opts;
   opts.selected_metric = "Grid Late Sender";
   std::printf("%s\n", report::render_metric_tree(res.cube, opts).c_str());
@@ -83,5 +94,6 @@ int main() {
       "the paper's screenshots. Severity cube written to " +
       base + "/fig6.cubex");
   std::filesystem::remove_all(base);
+  report.write();
   return 0;
 }

@@ -51,6 +51,17 @@ int main() {
   auto pct = [](const analysis::AnalysisResult& r, MetricId m) {
     return r.cube.metric_inclusive_total(m) / r.cube.total_time();
   };
+  bench::BenchReport report("fig7_homogeneous");
+  report.set("het_wait_barrier_frac", Json(pct(het, het.patterns.wait_barrier)));
+  report.set("hom_wait_barrier_frac", Json(pct(hom, hom.patterns.wait_barrier)));
+  report.set("het_late_sender_frac", Json(pct(het, het.patterns.late_sender)));
+  report.set("hom_late_sender_frac", Json(pct(hom, hom.patterns.late_sender)));
+  report.set("het_steering_late_sender_frac",
+             Json(steering_late_sender_pct(het)));
+  report.set("hom_steering_late_sender_frac",
+             Json(steering_late_sender_pct(hom)));
+  report.set("het_total_time_s", Json(het.cube.total_time()));
+  report.set("hom_total_time_s", Json(hom.cube.total_time()));
   TextTable t({"quantity", "three-metahost (Fig 6)",
                "one-metahost (Fig 7)"});
   t.add_row({"Wait at Barrier (incl. grid)",
@@ -88,5 +99,6 @@ int main() {
       "cgiteration() receive waits disappear, while the Late Sender on\n"
       "the steering path *increases* — Trace now mostly waits for\n"
       "Partrace. Grid patterns vanish entirely (one metahost).");
+  report.write();
   return 0;
 }

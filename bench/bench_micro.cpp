@@ -1,7 +1,15 @@
 // Microbenchmarks (google-benchmark): hot paths of the toolchain —
 // engine execution, clock stamping, trace encode/decode, message
 // matching, and both analyzers.
+//
+// Like every harness in bench/, this one writes a BENCH_micro.json
+// sidecar — here via google-benchmark's own JSON reporter, injected as
+// a default --benchmark_out unless the caller supplies their own.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "clocksync/correction.hpp"
@@ -114,4 +122,23 @@ BENCHMARK(BM_ParallelAnalysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to a machine-readable sidecar next to the console report,
+  // matching the BENCH_<name>.json convention of the other harnesses.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) user_out = true;
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

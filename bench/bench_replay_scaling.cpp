@@ -8,6 +8,7 @@
 // wall-clock that does not degrade under thread-spawn and
 // context-switch pressure, and its cube stays bit-identical to the
 // serial analyzer's.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "harness_util.hpp"
 #include "simmpi/program.hpp"
 #include "simnet/topology.hpp"
+#include "telemetry/metrics.hpp"
 #include "workloads/experiment.hpp"
 
 using namespace metascope;
@@ -76,15 +78,19 @@ int main() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("hardware concurrency: %u\n\n", hw);
 
+  bench::BenchReport report("replay_scaling");
+  report.set("hardware_concurrency", Json(static_cast<int>(hw)));
+
   TextTable t({"ranks", "events", "mode", "workers", "wall [ms]",
                "suspensions", "requeues", "steals", "cube==serial"});
+  workloads::ExperimentData data1024;  // kept for the overhead section
   for (int per_side : {32, 128, 512}) {
     const int ranks = 2 * per_side;
     const auto topo = two_site(per_side);
     workloads::ExperimentConfig cfg;
     cfg.perfect_clocks = true;
     cfg.measurement.scheme = tracing::SyncScheme::None;
-    const auto data =
+    auto data =
         workloads::run_experiment(topo, ring_program(ranks, 3), cfg);
     const auto& tc = data.traces;
     const auto serial = analysis::analyze_serial(tc);
@@ -103,16 +109,57 @@ int main() {
       const auto t0 = std::chrono::steady_clock::now();
       const auto p = analysis::analyze_parallel(tc, opts);
       const auto t1 = std::chrono::steady_clock::now();
+      const double wall_ms = ms_between(t0, t1);
       t.add_row({std::to_string(ranks), std::to_string(p.stats.events),
                  m.name, std::to_string(p.stats.replay_workers),
-                 TextTable::fixed(ms_between(t0, t1), 1),
+                 TextTable::fixed(wall_ms, 1),
                  std::to_string(p.stats.replay_suspensions),
                  std::to_string(p.stats.replay_requeues),
                  std::to_string(p.stats.replay_steals),
                  serial.cube.approx_equal(p.cube, 0.0) ? "yes" : "NO"});
+      report.add_row("scaling",
+                     Json{Json::Object{}}
+                         .set("ranks", Json(ranks))
+                         .set("mode", Json(m.name))
+                         .set("workers", Json(p.stats.replay_workers))
+                         .set("wall_ms", Json(wall_ms))
+                         .set("suspensions", Json(p.stats.replay_suspensions))
+                         .set("cube_matches_serial",
+                              Json(serial.cube.approx_equal(p.cube, 0.0))));
     }
+    if (ranks == 1024) data1024 = std::move(data);
   }
   std::printf("%s", t.render().c_str());
+
+  // --- Telemetry overhead at 1024 ranks --------------------------------
+  // The registry's whole design brief is that instrumentation must not
+  // slow the replay down; this measures it directly. Same trace, same
+  // pooled configuration, best-of-5 with recording on vs off.
+  bench::banner("Telemetry overhead", "1024 ranks, pooled replay");
+  analysis::ReplayOptions opts;
+  opts.max_workers = hw;
+  auto best_of = [&](int reps) {
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)analysis::analyze_parallel(data1024.traces, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, ms_between(t0, t1));
+    }
+    return best;
+  };
+  telemetry::set_enabled(true);
+  const double on_ms = best_of(5);
+  telemetry::set_enabled(false);
+  const double off_ms = best_of(5);
+  telemetry::set_enabled(true);
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  std::printf("telemetry on : %8.1f ms (best of 5)\n", on_ms);
+  std::printf("telemetry off: %8.1f ms (best of 5)\n", off_ms);
+  std::printf("overhead     : %+7.2f %%  (budget: <= 5%%)\n", overhead_pct);
+  report.set("telemetry_on_ms", Json(on_ms));
+  report.set("telemetry_off_ms", Json(off_ms));
+  report.set("telemetry_overhead_pct", Json(overhead_pct));
   bench::note(
       "\nShape check: the pooled mode matches or beats thread-per-rank\n"
       "wall-clock while holding the worker count at hardware concurrency;\n"
@@ -120,5 +167,6 @@ int main() {
       "the ensuing context-switch storm. cube==serial must read 'yes' in\n"
       "every row: canonical-order accumulation makes the pooled replay\n"
       "bit-identical to the serial analyzer regardless of schedule.");
+  report.write();
   return 0;
 }

@@ -36,6 +36,7 @@ int main() {
       {"FH-BRS (internal network)", 0, 4, 4.44e-5, 3.60e-7},
   };
 
+  bench::BenchReport report("table1_latency");
   TextTable t({"link", "paper mean [s]", "paper std [s]", "measured mean [s]",
                "measured std [s]"});
   for (const Row& row : rows) {
@@ -44,11 +45,19 @@ int main() {
                TextTable::sci(row.paper_std),
                TextTable::sci(res.one_way.mean()),
                TextTable::sci(res.one_way.stddev())});
+    report.add_row("latencies",
+                   Json{Json::Object{}}
+                       .set("link", Json(row.label))
+                       .set("paper_mean_s", Json(row.paper_mean))
+                       .set("paper_std_s", Json(row.paper_std))
+                       .set("measured_mean_s", Json(res.one_way.mean()))
+                       .set("measured_std_s", Json(res.one_way.stddev())));
   }
   std::printf("%s", t.render().c_str());
   bench::note(
       "\nShape check: external latency ~2 orders of magnitude above the\n"
       "internal ones; external jitter largest — offset measurements over\n"
       "the WAN are the least precise (the paper's premise in Section 5).");
+  report.write();
   return 0;
 }

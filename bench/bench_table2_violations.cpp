@@ -34,6 +34,7 @@ int main() {
       {tracing::SyncScheme::HierarchicalTwo, "two hierarchical offsets", 0},
   };
 
+  bench::BenchReport report("table2_violations");
   TextTable t({"measurement", "paper violations", "measured violations",
                "messages"});
   for (const Row& row : rows) {
@@ -45,6 +46,12 @@ int main() {
     t.add_row({row.label, std::to_string(row.paper),
                std::to_string(rep.violations),
                std::to_string(rep.messages)});
+    report.add_row("violations",
+                   Json{Json::Object{}}
+                       .set("scheme", Json(row.label))
+                       .set("paper_violations", Json(row.paper))
+                       .set("measured_violations", Json(rep.violations))
+                       .set("messages", Json(rep.messages)));
   }
   std::printf("%s", t.render().c_str());
   bench::note(
@@ -54,5 +61,6 @@ int main() {
       "*relative* offsets of processes inside the same metahost; the\n"
       "hierarchical scheme shares one inter-metahost measurement per\n"
       "metahost, so intra-metahost offsets stay exact (paper Section 4).");
+  report.write();
   return 0;
 }

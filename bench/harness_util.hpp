@@ -1,10 +1,18 @@
 // Shared helpers for the per-table/figure benchmark harnesses. Each
 // harness prints the corresponding paper artifact next to the values this
 // reproduction measures; EXPERIMENTS.md captures the outputs.
+//
+// BenchReport additionally writes a machine-readable `BENCH_<name>.json`
+// sidecar — the harness's headline numbers plus the full telemetry
+// snapshot — so sweep scripts can diff runs without scraping stdout.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+
+#include "common/json.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace metascope::bench {
 
@@ -17,5 +25,44 @@ inline void banner(const std::string& id, const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("%s\n", text.c_str());
 }
+
+/// Collects a harness's headline values and writes them as
+/// `BENCH_<name>.json` in the working directory, with the telemetry
+/// snapshot attached under "telemetry". Call write() once, at the end
+/// of main, after all measured work.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    values_ = Json{Json::Object{}};
+  }
+
+  BenchReport& set(const std::string& key, Json v) {
+    values_.set(key, std::move(v));
+    return *this;
+  }
+
+  /// Appends a row to the named result table (an array of objects).
+  BenchReport& add_row(const std::string& table, Json row) {
+    if (!values_.has(table)) values_.set(table, Json{Json::Array{}});
+    Json rows = values_.at(table);
+    rows.push_back(std::move(row));
+    values_.set(table, std::move(rows));
+    return *this;
+  }
+
+  void write() const {
+    Json doc{Json::Object{}};
+    doc.set("bench", Json(name_));
+    doc.set("values", values_);
+    doc.set("telemetry", telemetry::snapshot_json());
+    const std::string path = "BENCH_" + name_ + ".json";
+    save_json_file(path, doc);
+    std::printf("\n[bench sidecar written to %s]\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  Json values_;
+};
 
 }  // namespace metascope::bench

@@ -3,7 +3,12 @@
 //
 // Usage:
 //   msc_run <experiment.json> [--cube out.cubex] [--profile] [--amortize]
-//           [--timeline]
+//           [--timeline] [--metrics out.json] [--progress]
+//           [--log-level {debug,info,warn,error,off}]
+//
+// --metrics writes the full telemetry snapshot (pipeline-stage spans,
+// counters, histograms) as JSON; --progress prints a rate-limited
+// stage/percent line to stderr while the pipeline runs.
 //
 // With no arguments it runs a built-in demo config (and prints it), so
 // `./build/examples/msc_run` works out of the box.
@@ -15,10 +20,13 @@
 #include "clocksync/amortization.hpp"
 #include "clocksync/clock_condition.hpp"
 #include "clocksync/correction.hpp"
+#include "common/log.hpp"
 #include "report/cubexml.hpp"
 #include "report/profile.hpp"
 #include "report/timeline.hpp"
 #include "report/render.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/snapshot.hpp"
 #include "workloads/config.hpp"
 #include "workloads/experiment.hpp"
 
@@ -53,12 +61,27 @@ const char* kDemoConfig = R"({
 int main(int argc, char** argv) {
   std::string config_path;
   std::string cube_path;
+  std::string metrics_path;
   bool want_profile = false;
   bool want_amortize = false;
   bool want_timeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cube") == 0 && i + 1 < argc) {
       cube_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      LogLevel level{};
+      if (!parse_log_level(argv[++i], level)) {
+        std::fprintf(stderr,
+                     "msc_run: unknown log level '%s' (expected debug, "
+                     "info, warn, error, or off)\n",
+                     argv[i]);
+        return 1;
+      }
+      set_log_level(level);
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      telemetry::set_progress_enabled(true);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       want_profile = true;
     } else if (std::strcmp(argv[i], "--amortize") == 0) {
@@ -126,6 +149,11 @@ int main(int argc, char** argv) {
     if (!cube_path.empty()) {
       report::save_cube(cube_path, res.cube);
       std::printf("severity cube written to %s\n", cube_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      telemetry::save_snapshot(metrics_path);
+      std::printf("telemetry snapshot written to %s\n",
+                  metrics_path.c_str());
     }
     return 0;
   } catch (const Error& e) {

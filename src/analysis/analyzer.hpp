@@ -25,6 +25,14 @@
 
 namespace metascope::analysis {
 
+/// Per-analysis summary counters. Since the telemetry refactor these
+/// are *snapshots of the global metrics registry* (src/telemetry): the
+/// live counting happens in registry counters — "analysis.messages",
+/// "analysis.events", "replay.bytes", "replay.suspensions",
+/// "replay.steals", "replay.requeues", … — and this struct captures the
+/// per-run delta so existing callers keep a plain-value API. With
+/// telemetry disabled (telemetry::set_enabled(false) or
+/// -DMSC_NO_TELEMETRY) the registry-backed fields read zero.
 struct AnalysisStats {
   std::size_t messages{0};
   std::size_t collective_instances{0};

@@ -35,6 +35,8 @@
 #include "analysis/replay_scheduler.hpp"
 #include "analysis/striped_map.hpp"
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::analysis {
 
@@ -106,6 +108,9 @@ struct RankTask {
   std::size_t cursor{0};       ///< position in the rank's op-event list
   std::vector<int> coll_seq;   ///< per-communicator instance counter
   std::vector<P2pRecord> records;
+  /// Wire volume this task re-enacted; tallied locally (a task runs on
+  /// one worker at a time) and added to "replay.bytes" once at the end.
+  std::uint64_t wire_bytes{0};
 };
 
 }  // namespace
@@ -123,9 +128,14 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
   res.patterns = init_cube(res.cube, tc, prep);
   const tracing::TraceDefs& defs = tc.defs;
 
+  telemetry::ScopedSpan replay_span("replay");
   StripedMap<ChannelKey, Channel, ChannelKeyHash> channels;
   StripedMap<CollKey, CollGroup, CollKeyHash> colls;
-  std::atomic<std::size_t> replay_bytes{0};
+  // Wire-volume counter: tallied per task during the replay, added to
+  // the registry in one batch at the end; the per-run figure for
+  // AnalysisStats is the end-minus-start delta.
+  telemetry::Counter& replay_bytes = telemetry::counter("replay.bytes");
+  const std::uint64_t replay_bytes0 = replay_bytes.value();
 
   const auto n = static_cast<std::size_t>(tc.num_ranks());
   std::vector<RankTask> tasks(n);
@@ -152,8 +162,7 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
                                        ann.cnode[i]});
                 std::swap(waiter, c.waiter);
               });
-          replay_bytes.fetch_add(kPeerWireBytes,
-                                 std::memory_order_relaxed);
+          st.wire_bytes += kPeerWireBytes;
           ++st.cursor;
           if (waiter != kNoWaiter) sched.resume(waiter);
           break;
@@ -206,8 +215,7 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
               g.waiters.push_back(ti);
             }
           });
-          replay_bytes.fetch_add(kPeerWireBytes,
-                                 std::memory_order_relaxed);
+          st.wire_bytes += kPeerWireBytes;
           // Our arrival is recorded either way: advance past the event
           // before suspending so the resumed task does not re-enroll.
           ++st.cursor;
@@ -246,7 +254,10 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
   accumulate(res.patterns, defs, std::move(p2p), std::move(instances),
              res.cube, res.stats);
   fill_trace_stats(tc, res.stats);
-  res.stats.replay_bytes = replay_bytes.load();
+  std::uint64_t wire_total = 0;
+  for (const RankTask& t : tasks) wire_total += t.wire_bytes;
+  replay_bytes.add(wire_total);
+  res.stats.replay_bytes = replay_bytes.value() - replay_bytes0;
   const SchedulerStats& ss = sched.stats();
   res.stats.replay_workers = ss.workers;
   res.stats.replay_tasks = ss.tasks;

@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::analysis {
 
@@ -11,6 +14,8 @@ using tracing::Event;
 using tracing::EventType;
 
 PreparedTrace prepare(const tracing::TraceCollection& tc) {
+  telemetry::ScopedSpan span("prepare");
+  if (telemetry::progress_enabled()) telemetry::progress("prepare", 0.0);
   PreparedTrace out;
   out.tc = &tc;
   out.per_rank.resize(static_cast<std::size_t>(tc.num_ranks()));
@@ -136,6 +141,9 @@ PreparedTrace prepare(const tracing::TraceCollection& tc) {
       }
     }
   }
+  telemetry::counter("prepare.ranks").add(out.per_rank.size());
+  telemetry::counter("prepare.call_paths").add(out.calls.size());
+  if (telemetry::progress_enabled()) telemetry::progress("prepare", 1.0);
   return out;
 }
 

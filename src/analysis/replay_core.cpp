@@ -5,6 +5,7 @@
 
 #include "analysis/patterns.hpp"
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 #include "tracing/epilog_io.hpp"
 
 namespace metascope::analysis {
@@ -97,6 +98,8 @@ void accumulate(const PatternSet& ps, const tracing::TraceDefs& defs,
 
   stats.messages = p2p.size();
   stats.collective_instances = colls.size();
+  telemetry::counter("analysis.messages").add(stats.messages);
+  telemetry::counter("analysis.collectives").add(stats.collective_instances);
 }
 
 void fill_trace_stats(const tracing::TraceCollection& tc,
@@ -104,6 +107,8 @@ void fill_trace_stats(const tracing::TraceCollection& tc,
   stats.events = tc.total_events();
   for (const auto& t : tc.ranks)
     stats.trace_bytes += tracing::encode_local_trace(t).size();
+  telemetry::counter("analysis.events").add(stats.events);
+  telemetry::counter("analysis.trace_bytes").add(stats.trace_bytes);
 }
 
 }  // namespace metascope::analysis

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "telemetry/progress.hpp"
 
 namespace metascope::analysis {
 
@@ -22,6 +23,29 @@ constexpr int kNotified = 2;
 // other workers steal them if the owner stays busy.
 thread_local std::size_t tls_worker = 0;
 
+// The *expensive* telemetry observations (clock reads, histogram
+// updates) are sampled one-in-16 per thread; at thousands of task steps
+// the distributions stay representative while the telemetry-on hot path
+// holds the <=5% overhead budget bench_replay_scaling enforces.
+// Counters are never sampled — they stay exact.
+constexpr std::size_t kSampleStride = 16;
+thread_local std::size_t tls_sample = 0;
+
+inline bool sample_tick() { return tls_sample++ % kSampleStride == 0; }
+
+// Scheduler counters batch into plain per-thread tallies and flush into
+// the registry once, when the worker exits — the hot path pays a
+// non-atomic increment instead of a registry add per event. Exactness
+// is preserved: workers flush before run() joins them, so the post-join
+// delta snapshot sees every increment.
+struct LocalTally {
+  std::uint64_t suspensions{0};
+  std::uint64_t steals{0};
+  std::uint64_t requeues{0};
+  std::uint64_t tasks{0};
+};
+thread_local LocalTally tls_tally;
+
 }  // namespace
 
 ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
@@ -34,7 +58,17 @@ ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
               : std::max<std::size_t>(
                     1, std::thread::hardware_concurrency()))),
       queues_(num_workers_),
-      state_(new std::atomic<int>[num_tasks == 0 ? 1 : num_tasks]) {
+      state_(new std::atomic<int>[num_tasks == 0 ? 1 : num_tasks]),
+      c_suspensions_(telemetry::counter("replay.suspensions")),
+      c_steals_(telemetry::counter("replay.steals")),
+      c_requeues_(telemetry::counter("replay.requeues")),
+      c_tasks_(telemetry::counter("replay.tasks")),
+      h_task_runtime_us_(telemetry::histogram(
+          "replay.task_runtime_us",
+          {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6})),
+      h_queue_depth_(telemetry::histogram(
+          "replay.queue_depth",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0})) {
   for (std::size_t t = 0; t < num_tasks_; ++t)
     state_[t].store(kRunning, std::memory_order_relaxed);
   stats_.workers = num_workers_;
@@ -42,10 +76,14 @@ ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
 }
 
 void ReplayScheduler::push(std::size_t wid, std::size_t task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(queues_[wid].m);
     queues_[wid].dq.push_back(task);
+    depth = queues_[wid].dq.size();
   }
+  if (telemetry::enabled() && sample_tick())
+    h_queue_depth_.observe(static_cast<double>(depth));
   idle_cv_.notify_one();
 }
 
@@ -65,7 +103,7 @@ bool ReplayScheduler::steal(std::size_t wid, std::size_t& task) {
     // Steal from the back: the front is the victim's warmest work.
     task = victim.dq.back();
     victim.dq.pop_back();
-    steals_.fetch_add(1, std::memory_order_relaxed);
+    tls_tally.steals += 1;
     return true;
   }
   return false;
@@ -86,7 +124,7 @@ void ReplayScheduler::resume(std::size_t task) {
     if (s == kParked) {
       if (state_[task].compare_exchange_strong(s, kRunning)) {
         inflight_.fetch_add(1);
-        requeues_.fetch_add(1, std::memory_order_relaxed);
+        tls_tally.requeues += 1;
         push(tls_worker, task);
         return;
       }
@@ -101,6 +139,12 @@ void ReplayScheduler::resume(std::size_t task) {
 }
 
 void ReplayScheduler::run_task(std::size_t task, const StepFn& step) {
+  // Step-runtime histogram: two clock reads per sampled step (a step
+  // runs a task until it finishes or suspends, so this is coarse),
+  // skipped entirely when telemetry is off.
+  const bool timed = telemetry::enabled() && sample_tick();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   StepResult r;
   try {
     r = step(task);
@@ -108,13 +152,23 @@ void ReplayScheduler::run_task(std::size_t task, const StepFn& step) {
     fail(std::current_exception());
     return;
   }
+  if (timed) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    h_task_runtime_us_.observe(us);
+  }
   if (r == StepResult::Done) {
-    done_.fetch_add(1);
+    tls_tally.tasks += 1;
+    const std::size_t done = done_.fetch_add(1) + 1;
     inflight_.fetch_sub(1);
+    if (telemetry::progress_enabled())
+      telemetry::progress("replay", static_cast<double>(done) /
+                                        static_cast<double>(num_tasks_));
     if (done_.load() == num_tasks_) idle_cv_.notify_all();
     return;
   }
-  suspensions_.fetch_add(1, std::memory_order_relaxed);
+  tls_tally.suspensions += 1;
   int expected = kRunning;
   if (state_[task].compare_exchange_strong(expected, kParked)) {
     inflight_.fetch_sub(1);
@@ -122,13 +176,27 @@ void ReplayScheduler::run_task(std::size_t task, const StepFn& step) {
     // resume() beat us to it (state is Notified): the wait is already
     // satisfied, so the task goes straight back to our deque.
     state_[task].store(kRunning);
-    requeues_.fetch_add(1, std::memory_order_relaxed);
+    tls_tally.requeues += 1;
     push(tls_worker, task);
   }
 }
 
+void ReplayScheduler::flush_tally() {
+  LocalTally& t = tls_tally;
+  if (t.suspensions) c_suspensions_.add(t.suspensions);
+  if (t.steals) c_steals_.add(t.steals);
+  if (t.requeues) c_requeues_.add(t.requeues);
+  if (t.tasks) c_tasks_.add(t.tasks);
+  t = LocalTally{};
+}
+
 void ReplayScheduler::worker_loop(std::size_t wid, const StepFn& step) {
   tls_worker = wid;
+  // Flush the thread's tally on every exit path of the loop.
+  struct Flusher {
+    ReplayScheduler* s;
+    ~Flusher() { s->flush_tally(); }
+  } flusher{this};
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return;
     std::size_t task;
@@ -158,6 +226,13 @@ void ReplayScheduler::worker_loop(std::size_t wid, const StepFn& step) {
 
 void ReplayScheduler::run(const StepFn& step) {
   if (num_tasks_ == 0) return;
+  telemetry::gauge("replay.workers").set(static_cast<double>(num_workers_));
+  // Per-run stats are deltas against the process-global registry
+  // counters. (Two schedulers running concurrently in one process would
+  // see each other's increments; nothing in the codebase does that.)
+  const std::uint64_t susp0 = c_suspensions_.value();
+  const std::uint64_t steals0 = c_steals_.value();
+  const std::uint64_t req0 = c_requeues_.value();
   inflight_.store(num_tasks_);
   for (std::size_t t = 0; t < num_tasks_; ++t) push(t % num_workers_, t);
 
@@ -167,9 +242,9 @@ void ReplayScheduler::run(const StepFn& step) {
     pool.emplace_back([this, w, &step] { worker_loop(w, step); });
   for (auto& t : pool) t.join();
 
-  stats_.suspensions = suspensions_.load();
-  stats_.steals = steals_.load();
-  stats_.requeues = requeues_.load();
+  stats_.suspensions = c_suspensions_.value() - susp0;
+  stats_.steals = c_steals_.value() - steals0;
+  stats_.requeues = c_requeues_.value() - req0;
 
   if (first_error_) std::rethrow_exception(first_error_);
   if (deadlock_.load()) {

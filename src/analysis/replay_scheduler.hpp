@@ -35,6 +35,8 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace metascope::analysis {
 
 enum class StepResult {
@@ -42,6 +44,13 @@ enum class StepResult {
   Suspend,  ///< the task registered with a resource and yields its worker
 };
 
+/// Per-run snapshot of the scheduler's behaviour. The live counters
+/// behind these fields are the telemetry registry's sharded counters
+/// ("replay.suspensions", "replay.steals", "replay.requeues"); run()
+/// records the registry values at entry and fills this struct with the
+/// end-minus-start delta. With telemetry disabled
+/// (telemetry::set_enabled(false) or -DMSC_NO_TELEMETRY) the counters do
+/// not record and these fields read zero.
 struct SchedulerStats {
   std::size_t workers{0};      ///< pool size actually used
   std::size_t tasks{0};        ///< tasks driven to completion
@@ -86,6 +95,8 @@ class ReplayScheduler {
   bool pop_local(std::size_t wid, std::size_t& task);
   bool steal(std::size_t wid, std::size_t& task);
   void fail(std::exception_ptr err);
+  /// Adds the calling thread's batched tally into the registry counters.
+  void flush_tally();
 
   std::size_t num_tasks_;
   std::size_t num_workers_;
@@ -105,9 +116,15 @@ class ReplayScheduler {
   std::mutex err_m_;
   std::exception_ptr first_error_;
 
-  std::atomic<std::size_t> suspensions_{0};
-  std::atomic<std::size_t> steals_{0};
-  std::atomic<std::size_t> requeues_{0};
+  // Cached registry handles. Workers batch their counts into plain
+  // per-thread tallies and flush them here on exit; histograms are
+  // sampled one-in-16. Handles are stable for the process lifetime.
+  telemetry::Counter& c_suspensions_;
+  telemetry::Counter& c_steals_;
+  telemetry::Counter& c_requeues_;
+  telemetry::Counter& c_tasks_;
+  telemetry::Histogram& h_task_runtime_us_;
+  telemetry::Histogram& h_queue_depth_;
   SchedulerStats stats_;
 };
 

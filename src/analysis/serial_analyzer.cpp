@@ -3,6 +3,7 @@
 #include "analysis/prepare.hpp"
 #include "analysis/replay_core.hpp"
 #include "common/error.hpp"
+#include "telemetry/span.hpp"
 #include "tracing/matching.hpp"
 
 namespace metascope::analysis {
@@ -17,7 +18,10 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
   // Post-mortem matching resolves both sides of every message; the
   // collective grouping walks each rank's op events once. Evaluation
   // order is the replay core's canonical order, shared with the
-  // parallel analyzer.
+  // parallel analyzer. The span carries the same "replay" name as the
+  // parallel analyzer's: it is the same pipeline stage, differently
+  // implemented.
+  telemetry::ScopedSpan replay_span("replay");
   const auto pairs = tracing::match_messages(tc);
   std::vector<P2pRecord> p2p;
   p2p.reserve(pairs.size());

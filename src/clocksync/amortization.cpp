@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "tracing/matching.hpp"
 
 namespace metascope::clocksync {
@@ -59,8 +61,10 @@ std::size_t repair_pass(tracing::TraceCollection& tc,
 
 }  // namespace
 
-AmortizationReport amortize_violations(tracing::TraceCollection& tc,
-                                       const AmortizationConfig& cfg) {
+namespace {
+
+AmortizationReport amortize_impl(tracing::TraceCollection& tc,
+                                 const AmortizationConfig& cfg) {
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
             "amortization runs after synchronization");
   MSC_CHECK(cfg.min_message_gap >= 0.0, "negative message gap");
@@ -86,6 +90,18 @@ AmortizationReport amortize_violations(tracing::TraceCollection& tc,
       break;
     }
   }
+  return rep;
+}
+
+}  // namespace
+
+AmortizationReport amortize_violations(tracing::TraceCollection& tc,
+                                       const AmortizationConfig& cfg) {
+  telemetry::ScopedSpan span("amortize");
+  const AmortizationReport rep = amortize_impl(tc, cfg);
+  telemetry::counter("sync.amortize_passes").add(rep.passes);
+  telemetry::counter("sync.amortize_repairs").add(rep.repaired_receives);
+  telemetry::gauge("sync.amortize_max_shift_s").max(rep.max_shift);
   return rep;
 }
 

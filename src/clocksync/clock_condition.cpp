@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "tracing/matching.hpp"
 
 namespace metascope::clocksync {
@@ -26,6 +27,10 @@ ViolationReport check_clock_condition(const tracing::TraceCollection& tc) {
   rep.mean_gap = rep.messages
                      ? gap_sum / static_cast<double>(rep.messages)
                      : 0.0;
+  telemetry::counter("sync.condition_checks").add(1);
+  telemetry::gauge("sync.violations").set(
+      static_cast<double>(rep.violations));
+  telemetry::gauge("sync.max_residual_s").set(rep.worst_reversal);
   return rep;
 }
 

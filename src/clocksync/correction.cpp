@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::clocksync {
 
@@ -118,8 +121,13 @@ void apply_corrections(tracing::TraceCollection& tc,
 }
 
 std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc) {
+  telemetry::ScopedSpan span("sync");
+  if (telemetry::progress_enabled()) telemetry::progress("sync", 0.0);
   auto c = build_corrections(tc);
   apply_corrections(tc, c);
+  telemetry::counter("sync.corrections_built").add(c.size());
+  telemetry::counter("sync.passes").add(1);
+  if (telemetry::progress_enabled()) telemetry::progress("sync", 1.0);
   return c;
 }
 

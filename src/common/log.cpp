@@ -1,6 +1,8 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -30,11 +32,31 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "debug") out = LogLevel::Debug;
+  else if (name == "info") out = LogLevel::Info;
+  else if (name == "warn") out = LogLevel::Warn;
+  else if (name == "error") out = LogLevel::Error;
+  else if (name == "off") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  // Monotonic elapsed time since the first log line, so lines from a
+  // long pipeline run can be correlated without wall-clock parsing.
+  static const auto start = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%9.3fs", elapsed);
   // Serialize lines: the parallel analyzer logs from worker threads.
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[metascope " << level_name(level) << "] " << msg << '\n';
+  std::cerr << '[' << stamp << " metascope " << level_name(level) << "] "
+            << msg << '\n';
 }
 }  // namespace detail
 

@@ -13,6 +13,11 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (as accepted by
+/// `msc_run --log-level`). Returns false on an unknown name, leaving
+/// `out` untouched.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
 }

@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::report {
 
@@ -163,6 +166,9 @@ std::string render_pair_breakdown(const Cube& cube, MetricId metric) {
 }
 
 std::string render_report(const Cube& cube, const RenderOptions& opts) {
+  telemetry::ScopedSpan span("report");
+  if (telemetry::progress_enabled()) telemetry::progress("report", 0.0);
+  telemetry::counter("report.renders").add(1);
   std::ostringstream os;
   os << render_metric_tree(cube, opts) << '\n';
   MetricId selected = cube.metrics.roots().front();
@@ -182,6 +188,7 @@ std::string render_report(const Cube& cube, const RenderOptions& opts) {
               "unknown call path: " + opts.selected_call_path);
   }
   os << render_system_tree(cube, selected, cnode, opts);
+  if (telemetry::progress_enabled()) telemetry::progress("report", 1.0);
   return os.str();
 }
 

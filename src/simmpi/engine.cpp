@@ -10,6 +10,9 @@
 #include "common/rng.hpp"
 #include "simmpi/collectives.hpp"
 #include "simnet/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::simmpi {
 
@@ -91,12 +94,21 @@ class EngineImpl {
   }
 
   ExecResult run() {
+    std::size_t total_ops = 0;
+    for (const auto& ops : prog_.ops) total_ops += ops.size();
     bool progress = true;
     while (progress) {
       progress = false;
       ++stats_.sweeps;
       for (Rank r = 0; r < prog_.num_ranks(); ++r)
         progress = advance(r) || progress;
+      if (telemetry::progress_enabled() && total_ops > 0) {
+        std::size_t executed = 0;
+        for (const std::size_t i : ip_) executed += i;
+        telemetry::progress("simulate",
+                            static_cast<double>(executed) /
+                                static_cast<double>(total_ops));
+      }
     }
     for (Rank r = 0; r < prog_.num_ranks(); ++r) {
       if (ip_[static_cast<std::size_t>(r)] <
@@ -565,8 +577,18 @@ class EngineImpl {
 
 ExecResult execute(const simnet::Topology& topo, const Program& prog,
                    const EngineConfig& cfg) {
+  telemetry::ScopedSpan span("simulate");
   EngineImpl impl(topo, prog, cfg);
-  return impl.run();
+  ExecResult out = impl.run();
+  // The engine is single-threaded, so its aggregate counters transfer to
+  // the registry in one shot instead of per-event increments.
+  telemetry::counter("sim.events").add(out.stats.events);
+  telemetry::counter("sim.messages").add(out.stats.messages);
+  telemetry::counter("sim.collectives").add(out.stats.collectives);
+  telemetry::counter("sim.sweeps").add(out.stats.sweeps);
+  telemetry::gauge("sim.time_s").set(out.end_time.s);
+  if (telemetry::progress_enabled()) telemetry::progress("simulate", 1.0);
+  return out;
 }
 
 }  // namespace metascope::simmpi

@@ -1,0 +1,51 @@
+#include "telemetry/progress.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+namespace metascope::telemetry {
+
+namespace {
+
+std::atomic<bool> g_progress{false};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::int64_t kMinGapNs = 100'000'000;  // 100 ms
+
+std::atomic<std::int64_t> g_last_print{0};
+
+}  // namespace
+
+void set_progress_enabled(bool on) {
+  g_progress.store(on, std::memory_order_relaxed);
+}
+
+bool progress_enabled() {
+  return g_progress.load(std::memory_order_relaxed);
+}
+
+void progress(const char* stage, double fraction) {
+  if (!progress_enabled()) return;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const bool boundary = fraction == 0.0 || fraction == 1.0;
+  const std::int64_t now = now_ns();
+  std::int64_t last = g_last_print.load(std::memory_order_relaxed);
+  if (!boundary && now - last < kMinGapNs) return;
+  // One printer wins each interval; losers drop their update (it is
+  // only a progress line).
+  if (!g_last_print.compare_exchange_strong(last, now,
+                                            std::memory_order_relaxed) &&
+      !boundary)
+    return;
+  std::fprintf(stderr, "[msc %3.0f%%] %s\n", fraction * 100.0, stage);
+}
+
+}  // namespace metascope::telemetry

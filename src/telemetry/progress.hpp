@@ -1,0 +1,18 @@
+// Rate-limited stderr progress line for long pipeline stages.
+//
+// Off by default (benches and tests must stay quiet); `msc_run
+// --progress` switches it on. Stages call progress(stage, fraction)
+// freely — the reporter drops updates closer than 100 ms apart, except
+// stage entry (fraction 0) and completion (fraction >= 1), which always
+// print. One line per accepted update keeps the output pipe-friendly.
+#pragma once
+
+namespace metascope::telemetry {
+
+void set_progress_enabled(bool on);
+bool progress_enabled();
+
+/// Reports `stage` at `fraction` complete (clamped to [0, 1]).
+void progress(const char* stage, double fraction);
+
+}  // namespace metascope::telemetry

@@ -1,0 +1,23 @@
+#include "telemetry/snapshot.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace metascope::telemetry {
+
+Json snapshot_json() {
+  Json out = Registry::instance().to_json();
+  out.set("spans", span_tree_json());
+  return out;
+}
+
+void save_snapshot(const std::string& path) {
+  save_json_file(path, snapshot_json());
+}
+
+void reset() {
+  Registry::instance().reset();
+  reset_spans();
+}
+
+}  // namespace metascope::telemetry

@@ -1,0 +1,24 @@
+// Whole-telemetry snapshot: metrics registry + span tree in one JSON
+// document, and the reset that zeroes both. This is what `msc_run
+// --metrics out.json` writes and what the bench sidecars embed.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace metascope::telemetry {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {...},
+///  "spans": {...}}
+Json snapshot_json();
+
+/// Writes the snapshot to `path` (pretty-printed); throws Error on I/O
+/// failure.
+void save_snapshot(const std::string& path);
+
+/// Zeroes every metric and drops all spans. Registrations survive, so
+/// cached handles stay valid.
+void reset();
+
+}  // namespace metascope::telemetry

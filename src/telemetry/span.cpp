@@ -1,0 +1,85 @@
+#include "telemetry/span.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace metascope::telemetry {
+
+namespace detail {
+
+struct SpanNode {
+  std::uint64_t count{0};
+  double total_s{0.0};
+  std::map<std::string, std::unique_ptr<SpanNode>> children;
+};
+
+namespace {
+
+std::mutex g_m;
+// Owned behind a pointer so reset_spans() can swap in a fresh tree while
+// open spans still hold (and harmlessly finish into) old nodes — the old
+// tree stays alive until process exit rather than dangling.
+std::vector<std::unique_ptr<SpanNode>> g_retired;
+SpanNode* g_root = new SpanNode;
+
+// Innermost open span of this thread; null = top level.
+thread_local SpanNode* tls_current = nullptr;
+
+Json node_children_json(const SpanNode& node) {
+  Json out{Json::Object{}};
+  for (const auto& [name, child] : node.children) {
+    Json cj{Json::Object{}};
+    cj.set("count", Json(child->count));
+    cj.set("total_s", Json(child->total_s));
+    if (!child->children.empty())
+      cj.set("children", node_children_json(*child));
+    out.set(name, std::move(cj));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace detail
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(detail::g_m);
+  parent_ = detail::tls_current;
+  detail::SpanNode* attach = parent_ ? parent_ : detail::g_root;
+  auto& slot = attach->children[name];
+  if (!slot) slot = std::make_unique<detail::SpanNode>();
+  node_ = slot.get();
+  detail::tls_current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!node_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  std::lock_guard<std::mutex> lock(detail::g_m);
+  node_->count += 1;
+  node_->total_s += elapsed;
+  detail::tls_current = parent_;
+}
+
+Json span_tree_json() {
+  std::lock_guard<std::mutex> lock(detail::g_m);
+  return detail::node_children_json(*detail::g_root);
+}
+
+void reset_spans() {
+  std::lock_guard<std::mutex> lock(detail::g_m);
+  detail::g_retired.emplace_back(detail::g_root);
+  detail::g_root = new detail::SpanNode;
+}
+
+}  // namespace metascope::telemetry

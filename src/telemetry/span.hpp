@@ -1,0 +1,46 @@
+// RAII phase timers recording wall time into a global span tree.
+//
+// A ScopedSpan marks one execution of a named pipeline stage. Spans nest
+// via a thread-local stack: a span opened while another is live on the
+// same thread becomes its child. Repeated executions of the same name
+// under the same parent aggregate into one node (count + total seconds),
+// so the tree stays bounded and snapshots are deterministic in shape.
+//
+// Spans mark *coarse* phases (simulate / trace / sync / prepare /
+// replay / report) — open/close takes a mutex and is not meant for
+// per-event use; per-event data belongs in counters and histograms.
+#pragma once
+
+#include <chrono>
+
+#include "common/json.hpp"
+
+namespace metascope::telemetry {
+
+namespace detail {
+struct SpanNode;
+}
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  detail::SpanNode* node_{nullptr};  ///< null when recording is disabled
+  detail::SpanNode* parent_{nullptr};  ///< thread's previous open span
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The aggregated span tree:
+/// {"<name>": {"count": n, "total_s": t, "children": {...}}, ...}
+Json span_tree_json();
+
+/// Drops all recorded spans. Spans currently open finish into the
+/// retired tree (kept alive, never reported) rather than the fresh one.
+void reset_spans();
+
+}  // namespace metascope::telemetry

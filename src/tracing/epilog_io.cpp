@@ -2,6 +2,7 @@
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace metascope::tracing {
 
@@ -143,6 +144,7 @@ std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
         break;
     }
   }
+  telemetry::counter("trace.bytes_encoded").add(w.data().size());
   return w.data();
 }
 

@@ -4,6 +4,9 @@
 
 #include "common/error.hpp"
 #include "simnet/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::tracing {
 
@@ -116,6 +119,7 @@ TraceCollection collect_traces(const simnet::Topology& topo,
                                const std::vector<EnvMap>& envs) {
   MSC_CHECK(exec.num_ranks() == topo.num_ranks(),
             "execution/topology rank mismatch");
+  telemetry::ScopedSpan span("trace");
   TraceCollection out;
   out.scheme = cfg.scheme;
   out.synchronized = false;
@@ -186,7 +190,15 @@ TraceCollection collect_traces(const simnet::Topology& topo,
       te.recvd_bytes = ev.recvd_bytes;
       lt.events.push_back(te);
     }
+    telemetry::counter("trace.events").add(lt.events.size());
+    telemetry::histogram("trace.events_per_rank",
+                         {1e2, 1e3, 1e4, 1e5, 1e6})
+        .observe(static_cast<double>(lt.events.size()));
+    if (telemetry::progress_enabled())
+      telemetry::progress("trace", static_cast<double>(r + 1) /
+                                       static_cast<double>(topo.num_ranks()));
   }
+  telemetry::counter("trace.ranks").add(out.ranks.size());
 
   // --- offset measurements (program start and end, paper §3) -----------
   simnet::Network net(topo, root.split(0x5359ULL));
