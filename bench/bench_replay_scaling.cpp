@@ -11,9 +11,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/prepare.hpp"
+#include "archive/archive.hpp"
+#include "clocksync/correction.hpp"
 #include "common/table.hpp"
 #include "harness_util.hpp"
 #include "simmpi/program.hpp"
@@ -133,18 +138,39 @@ int main() {
 
   // --- Telemetry overhead at 1024 ranks --------------------------------
   // The registry's whole design brief is that instrumentation must not
-  // slow the replay down; this measures it directly. Same trace, same
-  // pooled configuration, best-of-5 with recording on vs off.
-  bench::banner("Telemetry overhead", "1024 ranks, pooled replay");
+  // slow the pipeline down; this measures it directly. The timed body
+  // covers every instrumented stage — archive write + read, clock
+  // synchronization, prepare, and the pooled replay — so the <= 5%
+  // budget gates the archive/sync/prepare spans and the per-stage
+  // parallelism metrics, not just the replay counters. Same trace, same
+  // pooled configuration, best-of-5 with recording on vs off; the trace
+  // copy each rep consumes is made outside the timed region.
+  bench::banner("Telemetry overhead",
+                "1024 ranks, full pipeline (archive+sync+prepare+replay)");
   analysis::ReplayOptions opts;
   opts.max_workers = hw;
+  const auto topo1024 = two_site(512);
+  const std::string ovdir =
+      (std::filesystem::temp_directory_path() / "msc_replay_overhead")
+          .string();
+  std::filesystem::remove_all(ovdir);
+  const auto ovlayout = archive::FileSystemLayout::per_metahost(
+      ovdir, topo1024.num_metahosts());
+  const auto ovarchive =
+      archive::ExperimentArchive::create(topo1024, ovlayout, "overhead");
   auto best_of = [&](int reps) {
     double best = 1e300;
     for (int i = 0; i < reps; ++i) {
+      auto tc = data1024.traces;  // untimed copy; synchronize mutates
       const auto t0 = std::chrono::steady_clock::now();
-      (void)analysis::analyze_parallel(data1024.traces, opts);
+      ovarchive.write_traces(topo1024, tc, hw);
+      auto tc2 = ovarchive.read_traces(hw);
+      clocksync::synchronize(tc, hw);
+      (void)analysis::prepare(tc, hw);
+      (void)analysis::analyze_parallel(tc, opts);
       const auto t1 = std::chrono::steady_clock::now();
       best = std::min(best, ms_between(t0, t1));
+      (void)tc2;
     }
     return best;
   };
@@ -153,6 +179,7 @@ int main() {
   telemetry::set_enabled(false);
   const double off_ms = best_of(5);
   telemetry::set_enabled(true);
+  std::filesystem::remove_all(ovdir);
   const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
   std::printf("telemetry on : %8.1f ms (best of 5)\n", on_ms);
   std::printf("telemetry off: %8.1f ms (best of 5)\n", off_ms);

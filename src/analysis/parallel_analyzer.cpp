@@ -120,11 +120,12 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
             "analyze_parallel requires synchronized timestamps");
   AnalysisResult res;
-  // Definition unification runs serially (as SCALASCA's does) so that
-  // call-path ids match the serial analyzer exactly. It also validates
-  // collective completeness, so no replay task can wait forever on an
-  // instance that never completes.
-  const PreparedTrace prep = prepare(tc);
+  // Definition unification assigns call-path ids serially (as
+  // SCALASCA's does) so ids match the serial analyzer exactly, then
+  // fans the per-rank annotation out on the worker pool. It also
+  // validates collective completeness, so no replay task can wait
+  // forever on an instance that never completes.
+  const PreparedTrace prep = prepare(tc, opts.max_workers);
   res.patterns = init_cube(res.cube, tc, prep);
   const tracing::TraceDefs& defs = tc.defs;
 

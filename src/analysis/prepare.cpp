@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/span.hpp"
@@ -13,7 +14,18 @@ namespace metascope::analysis {
 using tracing::Event;
 using tracing::EventType;
 
-PreparedTrace prepare(const tracing::TraceCollection& tc) {
+namespace {
+
+[[noreturn]] void fail_at(Rank rank, std::uint32_t i, const char* what) {
+  std::ostringstream os;
+  os << "malformed trace: rank " << rank << " event " << i << ": " << what;
+  throw Error(os.str());
+}
+
+}  // namespace
+
+PreparedTrace prepare(const tracing::TraceCollection& tc,
+                      std::size_t max_workers) {
   telemetry::ScopedSpan span("prepare");
   if (telemetry::progress_enabled()) telemetry::progress("prepare", 0.0);
   PreparedTrace out;
@@ -22,92 +34,143 @@ PreparedTrace prepare(const tracing::TraceCollection& tc) {
   out.excl_time.resize(static_cast<std::size_t>(tc.num_ranks()));
   out.rank_span.resize(static_cast<std::size_t>(tc.num_ranks()), 0.0);
 
+  // Pass 1 (serial): call-path id assignment + structural validation.
+  // Ids must be identical to the historical single-pass walk — ranks in
+  // order, events in order, get_or_add at every Enter — so serial and
+  // parallel cubes stay bit-identical for any worker count. The walk
+  // also performs every structural check (unbalanced Enter/Exit,
+  // message outside a region, negative durations), so the parallel
+  // annotation pass below runs on validated input and cannot fail.
+  // Per rank it records the assigned id of each Enter, in order; the
+  // annotation pass replays the stack from that list without touching
+  // the (single-threaded) call-tree index.
+  std::vector<std::vector<CallPathId>> enter_cnodes(
+      static_cast<std::size_t>(tc.num_ranks()));
   for (const auto& trace : tc.ranks) {
-    const auto ri = static_cast<std::size_t>(trace.rank);
-    auto& ann = out.per_rank[ri];
-    const std::size_t n = trace.events.size();
-    ann.cnode.assign(n, CallPathId{});
-    ann.op_enter.assign(n, 0.0);
-    ann.op_exit.assign(n, 0.0);
-
-    struct Frame {
+    auto& enters = enter_cnodes[static_cast<std::size_t>(trace.rank)];
+    struct OpenFrame {
       CallPathId cnode;
       double enter_time;
-      double child_time;
-      std::uint32_t first_event;  ///< first event index inside this frame
     };
-    std::vector<Frame> stack;
-    std::vector<bool> op_filled(n, false);
-    // Per-cnode exclusive accumulation for this rank.
-    std::map<int, double> excl;
-
-    auto fail = [&](std::uint32_t i, const char* what) {
-      std::ostringstream os;
-      os << "malformed trace: rank " << trace.rank << " event " << i << ": "
-         << what;
-      throw Error(os.str());
-    };
-
-    for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<OpenFrame> stack;
+    for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
       const Event& e = trace.events[i];
       switch (e.type) {
         case EventType::Enter: {
           const CallPathId parent =
               stack.empty() ? CallPathId{} : stack.back().cnode;
           const CallPathId c = out.calls.get_or_add(parent, e.region);
-          stack.push_back(Frame{c, e.time, 0.0, i + 1});
-          ann.cnode[i] = c;
+          stack.push_back(OpenFrame{c, e.time});
+          enters.push_back(c);
           break;
         }
         case EventType::Exit:
         case EventType::CollExit: {
-          if (stack.empty()) fail(i, "Exit without Enter");
-          Frame f = stack.back();
+          if (stack.empty()) fail_at(trace.rank, i, "Exit without Enter");
+          if (e.time - stack.back().enter_time < 0.0)
+            fail_at(trace.rank, i, "negative region duration");
           stack.pop_back();
-          ann.cnode[i] = f.cnode;
-          const double dur = e.time - f.enter_time;
-          if (dur < 0.0) fail(i, "negative region duration");
-          excl[f.cnode.get()] += dur - f.child_time;
-          if (!stack.empty()) stack.back().child_time += dur;
-          // Backfill enclosing-op times for the events inside this frame
-          // (Send/Recv live directly inside their MPI call frame).
-          for (std::uint32_t k = f.first_event; k < i; ++k) {
-            if ((trace.events[k].type == EventType::Send ||
-                 trace.events[k].type == EventType::Recv) &&
-                !op_filled[k]) {
-              ann.op_enter[k] = f.enter_time;
-              ann.op_exit[k] = e.time;
-              op_filled[k] = true;
-            }
-          }
-          if (e.type == EventType::CollExit) {
-            ann.op_enter[i] = f.enter_time;
-            ann.op_exit[i] = e.time;
-          }
           break;
         }
         case EventType::Send:
         case EventType::Recv: {
-          if (stack.empty()) fail(i, "message event outside any region");
-          ann.cnode[i] = stack.back().cnode;
+          if (stack.empty())
+            fail_at(trace.rank, i, "message event outside any region");
           break;
         }
       }
-      if (e.type == EventType::Send || e.type == EventType::Recv ||
-          e.type == EventType::CollExit)
-        ann.op_events.push_back(i);
     }
-    if (!stack.empty()) fail(static_cast<std::uint32_t>(n), "unclosed region");
-
-    auto& et = out.excl_time[ri];
-    et.reserve(excl.size());
-    for (const auto& [cnode, seconds] : excl)
-      et.push_back(ExclusiveTime{CallPathId{cnode}, seconds});
-
-    if (!trace.events.empty())
-      out.rank_span[ri] =
-          trace.events.back().time - trace.events.front().time;
+    if (!stack.empty())
+      fail_at(trace.rank, static_cast<std::uint32_t>(trace.events.size()),
+              "unclosed region");
   }
+
+  // Pass 2 (parallel, one task per rank): the heavy per-event
+  // annotation — call-path tags, enclosing-op windows, the op-event
+  // index the replay iterates, exclusive times, rank spans. Each task
+  // writes only its own rank's slots and reads the call tree ids from
+  // its private enter list, so results are deterministic and identical
+  // for every worker count.
+  const auto pst = parallel_for(
+      tc.ranks.size(), max_workers, [&](std::size_t ti) {
+        const auto& trace = tc.ranks[ti];
+        const auto ri = static_cast<std::size_t>(trace.rank);
+        const auto& enters = enter_cnodes[ri];
+        auto& ann = out.per_rank[ri];
+        const std::size_t n = trace.events.size();
+        ann.cnode.assign(n, CallPathId{});
+        ann.op_enter.assign(n, 0.0);
+        ann.op_exit.assign(n, 0.0);
+
+        struct Frame {
+          CallPathId cnode;
+          double enter_time;
+          double child_time;
+          std::uint32_t first_event;  ///< first event index in this frame
+        };
+        std::vector<Frame> stack;
+        std::vector<bool> op_filled(n, false);
+        std::size_t next_enter = 0;
+        // Per-cnode exclusive accumulation for this rank (ordered map:
+        // the emitted ExclusiveTime list is sorted by call-path id).
+        std::map<int, double> excl;
+
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const Event& e = trace.events[i];
+          switch (e.type) {
+            case EventType::Enter: {
+              const CallPathId c = enters[next_enter++];
+              stack.push_back(Frame{c, e.time, 0.0, i + 1});
+              ann.cnode[i] = c;
+              break;
+            }
+            case EventType::Exit:
+            case EventType::CollExit: {
+              Frame f = stack.back();
+              stack.pop_back();
+              ann.cnode[i] = f.cnode;
+              const double dur = e.time - f.enter_time;
+              excl[f.cnode.get()] += dur - f.child_time;
+              if (!stack.empty()) stack.back().child_time += dur;
+              // Backfill enclosing-op times for the events inside this
+              // frame (Send/Recv live directly inside their MPI call
+              // frame).
+              for (std::uint32_t k = f.first_event; k < i; ++k) {
+                if ((trace.events[k].type == EventType::Send ||
+                     trace.events[k].type == EventType::Recv) &&
+                    !op_filled[k]) {
+                  ann.op_enter[k] = f.enter_time;
+                  ann.op_exit[k] = e.time;
+                  op_filled[k] = true;
+                }
+              }
+              if (e.type == EventType::CollExit) {
+                ann.op_enter[i] = f.enter_time;
+                ann.op_exit[i] = e.time;
+              }
+              break;
+            }
+            case EventType::Send:
+            case EventType::Recv: {
+              ann.cnode[i] = stack.back().cnode;
+              break;
+            }
+          }
+          if (e.type == EventType::Send || e.type == EventType::Recv ||
+              e.type == EventType::CollExit)
+            ann.op_events.push_back(i);
+        }
+
+        auto& et = out.excl_time[ri];
+        et.reserve(excl.size());
+        for (const auto& [cnode, seconds] : excl)
+          et.push_back(ExclusiveTime{CallPathId{cnode}, seconds});
+
+        if (!trace.events.empty())
+          out.rank_span[ri] =
+              trace.events.back().time - trace.events.front().time;
+      });
+  telemetry::record_stage_parallelism("prepare", pst);
 
   // Validate collective-instance completeness up front: every member of
   // a communicator must have recorded the same number of collectives on

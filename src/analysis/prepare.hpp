@@ -1,10 +1,13 @@
 // Pre-analysis pass ("definition unification"): builds the global call
 // tree, annotates every event with its call path and enclosing-operation
-// times, and accumulates per-call-path exclusive times. Runs serially in
-// both analyzers so that call-path ids — and therefore cubes — are
-// bit-identical between the serial and the parallel analysis.
+// times, and accumulates per-call-path exclusive times. Call-path ids
+// are assigned in a serial first pass (ranks in order, events in order)
+// so that ids — and therefore cubes — are bit-identical between the
+// serial and the parallel analysis for any worker count; the heavy
+// per-event annotation then fans out one task per rank.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -49,7 +52,10 @@ struct PreparedTrace {
 /// Annotates all ranks. Throws Error on malformed traces (unbalanced
 /// Enter/Exit, events outside any region) and on incomplete collective
 /// instances (a communicator member missing from a collective), so both
-/// analyzers fail fast before any replay starts.
-PreparedTrace prepare(const tracing::TraceCollection& tc);
+/// analyzers fail fast before any replay starts. The per-rank annotation
+/// pass runs on up to `max_workers` threads (0 = hardware concurrency);
+/// results are identical for every worker count.
+PreparedTrace prepare(const tracing::TraceCollection& tc,
+                      std::size_t max_workers = 0);
 
 }  // namespace metascope::analysis

@@ -1,259 +1,74 @@
 #include "analysis/replay_scheduler.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <thread>
+#include <string>
 
 #include "common/error.hpp"
 #include "telemetry/progress.hpp"
 
 namespace metascope::analysis {
 
-namespace {
-
-// Per-task lifecycle. Parked tasks are owned by the resource they wait
-// on; the Running<->Notified leg absorbs a resume() that lands while the
-// suspending step is still unwinding on its worker.
-constexpr int kRunning = 0;
-constexpr int kParked = 1;
-constexpr int kNotified = 2;
-
-// Worker index of the current thread, so tasks resumed from inside a
-// step land on the resuming worker's own deque (cheap, cache-friendly);
-// other workers steal them if the owner stays busy.
-thread_local std::size_t tls_worker = 0;
-
-// The *expensive* telemetry observations (clock reads, histogram
-// updates) are sampled one-in-16 per thread; at thousands of task steps
-// the distributions stay representative while the telemetry-on hot path
-// holds the <=5% overhead budget bench_replay_scaling enforces.
-// Counters are never sampled — they stay exact.
-constexpr std::size_t kSampleStride = 16;
-thread_local std::size_t tls_sample = 0;
-
-inline bool sample_tick() { return tls_sample++ % kSampleStride == 0; }
-
-// Scheduler counters batch into plain per-thread tallies and flush into
-// the registry once, when the worker exits — the hot path pays a
-// non-atomic increment instead of a registry add per event. Exactness
-// is preserved: workers flush before run() joins them, so the post-join
-// delta snapshot sees every increment.
-struct LocalTally {
-  std::uint64_t suspensions{0};
-  std::uint64_t steals{0};
-  std::uint64_t requeues{0};
-  std::uint64_t tasks{0};
-};
-thread_local LocalTally tls_tally;
-
-}  // namespace
-
-ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
-                                 std::size_t max_workers)
-    : num_tasks_(num_tasks),
-      num_workers_(std::min(
-          num_tasks == 0 ? std::size_t{1} : num_tasks,
-          max_workers != 0
-              ? max_workers
-              : std::max<std::size_t>(
-                    1, std::thread::hardware_concurrency()))),
-      queues_(num_workers_),
-      state_(new std::atomic<int>[num_tasks == 0 ? 1 : num_tasks]),
-      c_suspensions_(telemetry::counter("replay.suspensions")),
-      c_steals_(telemetry::counter("replay.steals")),
-      c_requeues_(telemetry::counter("replay.requeues")),
-      c_tasks_(telemetry::counter("replay.tasks")),
-      h_task_runtime_us_(telemetry::histogram(
+ReplayScheduler::TelemetryObserver::TelemetryObserver()
+    : h_task_runtime_us_(telemetry::histogram(
           "replay.task_runtime_us",
           {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6})),
       h_queue_depth_(telemetry::histogram(
           "replay.queue_depth",
-          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0})) {
-  for (std::size_t t = 0; t < num_tasks_; ++t)
-    state_[t].store(kRunning, std::memory_order_relaxed);
-  stats_.workers = num_workers_;
-  stats_.tasks = num_tasks_;
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0})) {}
+
+bool ReplayScheduler::TelemetryObserver::wants_samples() const {
+  return telemetry::enabled();
 }
 
-void ReplayScheduler::push(std::size_t wid, std::size_t task) {
-  std::size_t depth;
-  {
-    std::lock_guard<std::mutex> lock(queues_[wid].m);
-    queues_[wid].dq.push_back(task);
-    depth = queues_[wid].dq.size();
-  }
-  if (telemetry::enabled() && sample_tick())
-    h_queue_depth_.observe(static_cast<double>(depth));
-  idle_cv_.notify_one();
+void ReplayScheduler::TelemetryObserver::on_task_done(std::size_t done,
+                                                      std::size_t total) {
+  if (telemetry::progress_enabled())
+    telemetry::progress("replay", static_cast<double>(done) /
+                                      static_cast<double>(total));
 }
 
-bool ReplayScheduler::pop_local(std::size_t wid, std::size_t& task) {
-  std::lock_guard<std::mutex> lock(queues_[wid].m);
-  if (queues_[wid].dq.empty()) return false;
-  task = queues_[wid].dq.front();
-  queues_[wid].dq.pop_front();
-  return true;
+void ReplayScheduler::TelemetryObserver::on_task_runtime_us(double us) {
+  h_task_runtime_us_.observe(us);
 }
 
-bool ReplayScheduler::steal(std::size_t wid, std::size_t& task) {
-  for (std::size_t k = 1; k < num_workers_; ++k) {
-    WorkerQueue& victim = queues_[(wid + k) % num_workers_];
-    std::lock_guard<std::mutex> lock(victim.m);
-    if (victim.dq.empty()) continue;
-    // Steal from the back: the front is the victim's warmest work.
-    task = victim.dq.back();
-    victim.dq.pop_back();
-    tls_tally.steals += 1;
-    return true;
-  }
-  return false;
+void ReplayScheduler::TelemetryObserver::on_queue_depth(double depth) {
+  h_queue_depth_.observe(depth);
 }
 
-void ReplayScheduler::fail(std::exception_ptr err) {
-  {
-    std::lock_guard<std::mutex> lock(err_m_);
-    if (!first_error_) first_error_ = err;
-  }
-  stop_.store(true);
-  idle_cv_.notify_all();
-}
-
-void ReplayScheduler::resume(std::size_t task) {
-  for (;;) {
-    int s = state_[task].load();
-    if (s == kParked) {
-      if (state_[task].compare_exchange_strong(s, kRunning)) {
-        inflight_.fetch_add(1);
-        tls_tally.requeues += 1;
-        push(tls_worker, task);
-        return;
-      }
-    } else if (s == kRunning) {
-      // The task is still unwinding from the step that registered the
-      // wait; leave a note for its worker to requeue it.
-      if (state_[task].compare_exchange_strong(s, kNotified)) return;
-    } else {
-      return;  // already notified
-    }
-  }
-}
-
-void ReplayScheduler::run_task(std::size_t task, const StepFn& step) {
-  // Step-runtime histogram: two clock reads per sampled step (a step
-  // runs a task until it finishes or suspends, so this is coarse),
-  // skipped entirely when telemetry is off.
-  const bool timed = telemetry::enabled() && sample_tick();
-  const auto t0 = timed ? std::chrono::steady_clock::now()
-                        : std::chrono::steady_clock::time_point{};
-  StepResult r;
-  try {
-    r = step(task);
-  } catch (...) {
-    fail(std::current_exception());
-    return;
-  }
-  if (timed) {
-    const double us = std::chrono::duration<double, std::micro>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    h_task_runtime_us_.observe(us);
-  }
-  if (r == StepResult::Done) {
-    tls_tally.tasks += 1;
-    const std::size_t done = done_.fetch_add(1) + 1;
-    inflight_.fetch_sub(1);
-    if (telemetry::progress_enabled())
-      telemetry::progress("replay", static_cast<double>(done) /
-                                        static_cast<double>(num_tasks_));
-    if (done_.load() == num_tasks_) idle_cv_.notify_all();
-    return;
-  }
-  tls_tally.suspensions += 1;
-  int expected = kRunning;
-  if (state_[task].compare_exchange_strong(expected, kParked)) {
-    inflight_.fetch_sub(1);
-  } else {
-    // resume() beat us to it (state is Notified): the wait is already
-    // satisfied, so the task goes straight back to our deque.
-    state_[task].store(kRunning);
-    tls_tally.requeues += 1;
-    push(tls_worker, task);
-  }
-}
-
-void ReplayScheduler::flush_tally() {
-  LocalTally& t = tls_tally;
-  if (t.suspensions) c_suspensions_.add(t.suspensions);
-  if (t.steals) c_steals_.add(t.steals);
-  if (t.requeues) c_requeues_.add(t.requeues);
-  if (t.tasks) c_tasks_.add(t.tasks);
-  t = LocalTally{};
-}
-
-void ReplayScheduler::worker_loop(std::size_t wid, const StepFn& step) {
-  tls_worker = wid;
-  // Flush the thread's tally on every exit path of the loop.
-  struct Flusher {
-    ReplayScheduler* s;
-    ~Flusher() { s->flush_tally(); }
-  } flusher{this};
-  for (;;) {
-    if (stop_.load(std::memory_order_acquire)) return;
-    std::size_t task;
-    if (pop_local(wid, task) || steal(wid, task)) {
-      run_task(task, step);
-      continue;
-    }
-    if (done_.load() == num_tasks_) return;
-    if (inflight_.load() == 0) {
-      // Re-check completion: the final Done increments done_ before
-      // inflight_, so a zero inflight_ with done_ short of the total
-      // means the remaining tasks are parked with no runner left to
-      // ever wake them.
-      if (done_.load() == num_tasks_) return;
-      deadlock_.store(true);
-      stop_.store(true);
-      idle_cv_.notify_all();
-      return;
-    }
-    // Another worker holds runnable work (or a resume is in flight);
-    // doze until pushed work notifies us. The timeout makes the loop
-    // robust against the notify racing our wait.
-    std::unique_lock<std::mutex> lock(idle_m_);
-    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
-  }
+ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
+                                 std::size_t max_workers)
+    : pool_(num_tasks, max_workers) {
+  pool_.set_observer(&obs_);
+  stats_.workers = pool_.stats().workers;
+  stats_.tasks = pool_.stats().tasks;
 }
 
 void ReplayScheduler::run(const StepFn& step) {
-  if (num_tasks_ == 0) return;
-  telemetry::gauge("replay.workers").set(static_cast<double>(num_workers_));
-  // Per-run stats are deltas against the process-global registry
-  // counters. (Two schedulers running concurrently in one process would
-  // see each other's increments; nothing in the codebase does that.)
-  const std::uint64_t susp0 = c_suspensions_.value();
-  const std::uint64_t steals0 = c_steals_.value();
-  const std::uint64_t req0 = c_requeues_.value();
-  inflight_.store(num_tasks_);
-  for (std::size_t t = 0; t < num_tasks_; ++t) push(t % num_workers_, t);
-
-  std::vector<std::thread> pool;
-  pool.reserve(num_workers_);
-  for (std::size_t w = 0; w < num_workers_; ++w)
-    pool.emplace_back([this, w, &step] { worker_loop(w, step); });
-  for (auto& t : pool) t.join();
-
-  stats_.suspensions = c_suspensions_.value() - susp0;
-  stats_.steals = c_steals_.value() - steals0;
-  stats_.requeues = c_requeues_.value() - req0;
-
-  if (first_error_) std::rethrow_exception(first_error_);
-  if (deadlock_.load()) {
-    const std::size_t stuck = num_tasks_ - done_.load();
-    throw Error("parallel replay deadlocked: " + std::to_string(stuck) +
-                " of " + std::to_string(num_tasks_) +
+  telemetry::gauge("replay.workers")
+      .set(static_cast<double>(pool_.stats().workers));
+  try {
+    pool_.run(step);
+  } catch (const DeadlockError& dl) {
+    // Snapshot what did happen before the stall, then rephrase the
+    // generic pool deadlock in replay terms.
+    const PoolStats& ps = pool_.stats();
+    stats_.suspensions = ps.suspensions;
+    stats_.steals = ps.steals;
+    stats_.requeues = ps.requeues;
+    throw Error("parallel replay deadlocked: " +
+                std::to_string(dl.stuck_tasks()) + " of " +
+                std::to_string(dl.total_tasks()) +
                 " rank tasks suspended with no runnable peer (unmatched "
                 "receive or truncated trace?)");
   }
+  const PoolStats& ps = pool_.stats();
+  stats_.suspensions = ps.suspensions;
+  stats_.steals = ps.steals;
+  stats_.requeues = ps.requeues;
+  // Registry counters stay cumulative: add this run's exact deltas.
+  telemetry::counter("replay.suspensions").add(ps.suspensions);
+  telemetry::counter("replay.steals").add(ps.steals);
+  telemetry::counter("replay.requeues").add(ps.requeues);
+  telemetry::counter("replay.tasks").add(ps.tasks);
 }
 
 }  // namespace metascope::analysis

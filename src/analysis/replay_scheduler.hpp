@@ -1,56 +1,37 @@
-// Bounded worker-pool scheduler for the parallel replay.
+// Replay-facing client of the shared bounded worker pool
+// (common/parallel.hpp). The scheduling machinery — resumable tasks,
+// work stealing, the Running/Parked/Notified suspend/resume state
+// machine, quiescence-based deadlock detection — lives in WorkerPool;
+// this wrapper keeps the replay's public semantics stable and wires the
+// pool into the telemetry registry:
 //
-// The old parallel analyzer spawned one OS thread per application rank
-// and parked it in a condition-variable wait whenever its replay had to
-// wait for a peer — fine for 32 ranks, hopeless for thousands. Here each
-// rank's replay is a resumable task: a cursor over its op events that
-// *suspends* (returns control to the pool) on an unsatisfied Recv or an
-// incomplete collective instead of blocking a thread. A fixed pool of
-// workers — hardware concurrency by default — drives all tasks, each
-// worker owning a deque of runnable tasks and stealing from its peers
-// when it runs dry.
-//
-// Suspension protocol: before returning Suspend, the task registers
-// itself with the awaited resource (under that resource's lock). The
-// task that later satisfies the resource calls resume(). The inevitable
-// race — resume() arriving while the suspending step is still unwinding
-// on its worker — is resolved with a per-task state machine
-// (Running / Parked / Notified): whichever side loses the CAS hands the
-// task back to a run queue, so a wakeup is never lost and a task never
-// runs on two workers at once.
-//
-// If every task is suspended and none is runnable, no resume() can ever
-// arrive (only running tasks signal), so the scheduler reports the
-// deadlock as an Error instead of hanging — e.g. a truncated trace whose
-// Recv has no matching Send.
+//  - "replay.suspensions" / "replay.steals" / "replay.requeues" /
+//    "replay.tasks" registry counters stay cumulative across runs;
+//  - "replay.task_runtime_us" and "replay.queue_depth" histograms are
+//    fed from the pool's one-in-16 sampled observer hooks;
+//  - task completions drive the rate-limited "replay" progress line;
+//  - pool deadlocks surface as a replay-specific Error (unmatched
+//    receive / truncated trace), not the pool's generic one.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <exception>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <vector>
 
+#include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace metascope::analysis {
 
-enum class StepResult {
-  Done,     ///< the task finished its whole replay
-  Suspend,  ///< the task registered with a resource and yields its worker
-};
+/// Step verdict of one resumable rank task (shared with every other
+/// pool client via common/parallel.hpp).
+using StepResult = ::metascope::StepOutcome;
 
-/// Per-run snapshot of the scheduler's behaviour. The live counters
-/// behind these fields are the telemetry registry's sharded counters
-/// ("replay.suspensions", "replay.steals", "replay.requeues"); run()
-/// records the registry values at entry and fills this struct with the
-/// end-minus-start delta. With telemetry disabled
-/// (telemetry::set_enabled(false) or -DMSC_NO_TELEMETRY) the counters do
-/// not record and these fields read zero.
+/// Per-run snapshot of the scheduler's behaviour. Since the pool
+/// extraction these are the pool's *exact* internal counters (merged
+/// from per-thread tallies at the join barrier) — they no longer depend
+/// on telemetry being enabled. The registry counters
+/// ("replay.suspensions", "replay.steals", "replay.requeues",
+/// "replay.tasks") receive the same per-run deltas, so registry values
+/// remain cumulative across runs.
 struct SchedulerStats {
   std::size_t workers{0};      ///< pool size actually used
   std::size_t tasks{0};        ///< tasks driven to completion
@@ -65,7 +46,7 @@ class ReplayScheduler {
   /// the pool never exceeds the task count.
   ReplayScheduler(std::size_t num_tasks, std::size_t max_workers = 0);
 
-  using StepFn = std::function<StepResult(std::size_t task)>;
+  using StepFn = WorkerPool::StepFn;
 
   /// Drives every task to Done. `step(t)` advances task t until it
   /// finishes or suspends; a suspending step must arrange for resume(t)
@@ -79,52 +60,28 @@ class ReplayScheduler {
   /// running step (i.e. on a worker thread). Safe against the
   /// suspend/resume race; at most one resume may be issued per
   /// suspension.
-  void resume(std::size_t task);
+  void resume(std::size_t task) { pool_.resume(task); }
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
  private:
-  struct WorkerQueue {
-    std::mutex m;
-    std::deque<std::size_t> dq;
+  /// Routes the pool's observer hooks into the registry histograms and
+  /// the progress reporter.
+  class TelemetryObserver : public WorkerPool::Observer {
+   public:
+    TelemetryObserver();
+    [[nodiscard]] bool wants_samples() const override;
+    void on_task_done(std::size_t done, std::size_t total) override;
+    void on_task_runtime_us(double us) override;
+    void on_queue_depth(double depth) override;
+
+   private:
+    telemetry::Histogram& h_task_runtime_us_;
+    telemetry::Histogram& h_queue_depth_;
   };
 
-  void worker_loop(std::size_t wid, const StepFn& step);
-  void run_task(std::size_t task, const StepFn& step);
-  void push(std::size_t wid, std::size_t task);
-  bool pop_local(std::size_t wid, std::size_t& task);
-  bool steal(std::size_t wid, std::size_t& task);
-  void fail(std::exception_ptr err);
-  /// Adds the calling thread's batched tally into the registry counters.
-  void flush_tally();
-
-  std::size_t num_tasks_;
-  std::size_t num_workers_;
-  std::vector<WorkerQueue> queues_;
-  std::unique_ptr<std::atomic<int>[]> state_;
-
-  std::atomic<std::size_t> done_{0};
-  /// Tasks queued or currently running (not parked). When this reaches
-  /// zero with done_ < num_tasks_, the replay has deadlocked.
-  std::atomic<std::size_t> inflight_{0};
-  std::atomic<bool> stop_{false};
-  std::atomic<bool> deadlock_{false};
-
-  std::mutex idle_m_;
-  std::condition_variable idle_cv_;
-
-  std::mutex err_m_;
-  std::exception_ptr first_error_;
-
-  // Cached registry handles. Workers batch their counts into plain
-  // per-thread tallies and flush them here on exit; histograms are
-  // sampled one-in-16. Handles are stable for the process lifetime.
-  telemetry::Counter& c_suspensions_;
-  telemetry::Counter& c_steals_;
-  telemetry::Counter& c_requeues_;
-  telemetry::Counter& c_tasks_;
-  telemetry::Histogram& h_task_runtime_us_;
-  telemetry::Histogram& h_queue_depth_;
+  WorkerPool pool_;
+  TelemetryObserver obs_;
   SchedulerStats stats_;
 };
 

@@ -12,7 +12,10 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
             "analyze_serial requires synchronized timestamps");
   AnalysisResult res;
-  const PreparedTrace prep = prepare(tc);
+  // The serial analyzer is the single-threaded reference (and the
+  // baseline benches compare against), so its prepare stays on one
+  // worker too.
+  const PreparedTrace prep = prepare(tc, 1);
   res.patterns = init_cube(res.cube, tc, prep);
 
   // Post-mortem matching resolves both sides of every message; the

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <utility>
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "tracing/epilog_io.hpp"
 
 namespace fs = std::filesystem;
@@ -198,21 +202,28 @@ std::vector<std::string> ExperimentArchive::partial_dirs() const {
   return out;
 }
 
-void ExperimentArchive::write_traces(
-    const simnet::Topology& topo, const tracing::TraceCollection& tc) const {
+void ExperimentArchive::write_traces(const simnet::Topology& topo,
+                                     const tracing::TraceCollection& tc,
+                                     std::size_t max_workers) const {
   MSC_CHECK(tc.num_ranks() == topo.num_ranks(),
             "collection/topology rank mismatch");
+  telemetry::ScopedSpan span("archive_write");
   // Definitions + manifest go into every partial archive; each rank's
   // trace goes only where that rank can write.
   const auto defs_bytes = tracing::encode_defs(tc);
   for (const std::string& dir : partial_dirs())
     write_file_bytes(dir + "/" + tracing::defs_filename(), defs_bytes);
 
-  for (const auto& t : tc.ranks) {
-    const std::string& dir = dir_of(topo.metahost_of(t.rank));
-    write_file_bytes(dir + "/" + tracing::trace_filename(t.rank),
-                     tracing::encode_local_trace(t));
-  }
+  // One task per rank: encode + write its own trace file. Files are
+  // distinct paths, so the fan-out never contends on a target.
+  const auto pst =
+      parallel_for(tc.ranks.size(), max_workers, [&](std::size_t i) {
+        const auto& t = tc.ranks[i];
+        const std::string& dir = dir_of(topo.metahost_of(t.rank));
+        write_file_bytes(dir + "/" + tracing::trace_filename(t.rank),
+                         tracing::encode_local_trace(t));
+      });
+  telemetry::record_stage_parallelism("archive_write", pst);
 
   for (int m = 0; m < topo.num_metahosts(); ++m) {
     const MetahostId mh{m};
@@ -232,20 +243,28 @@ void ExperimentArchive::write_traces(
   }
 }
 
-tracing::TraceCollection ExperimentArchive::read_traces() const {
+tracing::TraceCollection ExperimentArchive::read_traces(
+    std::size_t max_workers) const {
   MSC_CHECK(!dir_by_metahost_.empty(), "empty archive");
+  telemetry::ScopedSpan span("archive_read");
   tracing::TraceCollection tc = tracing::decode_defs(
       read_file_bytes(dir_by_metahost_.front() + "/" +
                       tracing::defs_filename()));
-  for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m) {
-    for (Rank r : ranks_by_metahost_[m]) {
-      tc.ranks[static_cast<std::size_t>(r)] = tracing::decode_local_trace(
-          read_file_bytes(dir_by_metahost_[m] + "/" +
-                          tracing::trace_filename(r)));
-      MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
-                "trace file rank mismatch");
-    }
-  }
+  // Flatten (metahost, rank) so each task reads + decodes one file into
+  // its own rank slot.
+  std::vector<std::pair<std::size_t, Rank>> files;
+  for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m)
+    for (Rank r : ranks_by_metahost_[m]) files.emplace_back(m, r);
+  const auto pst =
+      parallel_for(files.size(), max_workers, [&](std::size_t i) {
+        const auto [m, r] = files[i];
+        tc.ranks[static_cast<std::size_t>(r)] = tracing::decode_local_trace(
+            read_file_bytes(dir_by_metahost_[m] + "/" +
+                            tracing::trace_filename(r)));
+        MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
+                  "trace file rank mismatch");
+      });
+  telemetry::record_stage_parallelism("archive_read", pst);
   return tc;
 }
 

@@ -19,6 +19,7 @@
 // (std::filesystem), so the protocol is exercised end to end.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -91,14 +92,20 @@ class ExperimentArchive {
 
   /// Writes each rank's local trace into the partial archive of its
   /// metahost, plus the shared definitions and a manifest into every
-  /// partial archive.
+  /// partial archive. The per-rank encodes + writes are independent
+  /// (distinct files), so they fan out on up to `max_workers` threads
+  /// (0 = hardware concurrency); the bytes written are identical for
+  /// any count.
   void write_traces(const simnet::Topology& topo,
-                    const tracing::TraceCollection& tc) const;
+                    const tracing::TraceCollection& tc,
+                    std::size_t max_workers = 0) const;
 
   /// Re-assembles the full collection from all partial archives (what a
   /// post-mortem analysis with access to all file systems would do; the
   /// parallel analyzer instead reads only local files — see analysis/).
-  [[nodiscard]] tracing::TraceCollection read_traces() const;
+  /// Per-rank reads + decodes fan out like write_traces.
+  [[nodiscard]] tracing::TraceCollection read_traces(
+      std::size_t max_workers = 0) const;
 
   /// Loads one rank's trace from the partial archive of its metahost —
   /// the parallel analyzer's access pattern (local data only).

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "tracing/matching.hpp"
@@ -29,32 +30,45 @@ std::size_t repair_pass(tracing::TraceCollection& tc,
         send_time + cfg.min_message_gap;
   }
 
+  // The forward sweep touches only its own rank's stream, so ranks fan
+  // out one task each; per-rank tallies are reduced in rank order below
+  // so report numbers match the old serial loop exactly.
+  std::vector<std::size_t> repaired_by_rank(tc.ranks.size(), 0);
+  std::vector<double> max_shift_by_rank(tc.ranks.size(), 0.0);
+  const auto pst =
+      parallel_for(tc.ranks.size(), cfg.max_workers, [&](std::size_t ti) {
+        auto& trace = tc.ranks[ti];
+        const auto& req = required[static_cast<std::size_t>(trace.rank)];
+        double shift = 0.0;   // magnitude of the active amortization
+        double anchor = 0.0;  // original time where it was introduced
+        double window = cfg.decay_window;
+        for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+          auto& e = trace.events[i];
+          const double original = e.time;
+          double active = 0.0;
+          if (shift > 0.0) {
+            active =
+                shift * std::max(0.0, 1.0 - (original - anchor) / window);
+          }
+          auto it = req.find(i);
+          if (it != req.end() && original + active < it->second) {
+            active = it->second - original;
+            shift = active;
+            anchor = original;
+            // Keep the time mapping monotone: the decay slope must stay
+            // above -1, so widen the window for large shifts.
+            window = std::max(cfg.decay_window, 2.0 * shift);
+            ++repaired_by_rank[ti];
+            max_shift_by_rank[ti] = std::max(max_shift_by_rank[ti], active);
+          }
+          e.time = original + active;
+        }
+      });
+  telemetry::record_stage_parallelism("amortize", pst);
   std::size_t repaired = 0;
-  for (auto& trace : tc.ranks) {
-    const auto& req = required[static_cast<std::size_t>(trace.rank)];
-    double shift = 0.0;      // magnitude of the active amortization
-    double anchor = 0.0;     // original time where it was introduced
-    double window = cfg.decay_window;
-    for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
-      auto& e = trace.events[i];
-      const double original = e.time;
-      double active = 0.0;
-      if (shift > 0.0) {
-        active = shift * std::max(0.0, 1.0 - (original - anchor) / window);
-      }
-      auto it = req.find(i);
-      if (it != req.end() && original + active < it->second) {
-        active = it->second - original;
-        shift = active;
-        anchor = original;
-        // Keep the time mapping monotone: the decay slope must stay
-        // above -1, so widen the window for large shifts.
-        window = std::max(cfg.decay_window, 2.0 * shift);
-        ++repaired;
-        max_shift = std::max(max_shift, active);
-      }
-      e.time = original + active;
-    }
+  for (std::size_t r = 0; r < tc.ranks.size(); ++r) {
+    repaired += repaired_by_rank[r];
+    max_shift = std::max(max_shift, max_shift_by_rank[r]);
   }
   return repaired;
 }

@@ -26,6 +26,9 @@ struct AmortizationConfig {
   /// Repair passes (later receives can re-violate after earlier shifts;
   /// a few passes reach a fixed point in practice).
   int max_passes{5};
+  /// Workers for the per-rank amortization sweep (0 = hardware
+  /// concurrency). The repaired timestamps are identical for any count.
+  std::size_t max_workers{0};
 };
 
 struct AmortizationReport {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/span.hpp"
@@ -109,22 +110,28 @@ std::vector<LinearCorrection> build_corrections(const TraceCollection& tc) {
 }
 
 void apply_corrections(tracing::TraceCollection& tc,
-                       const std::vector<LinearCorrection>& corrections) {
+                       const std::vector<LinearCorrection>& corrections,
+                       std::size_t max_workers) {
   MSC_CHECK(corrections.size() == static_cast<std::size_t>(tc.num_ranks()),
             "one correction per rank required");
   MSC_CHECK(!tc.synchronized, "collection already synchronized");
-  for (auto& t : tc.ranks) {
-    const auto& c = corrections[static_cast<std::size_t>(t.rank)];
-    for (auto& e : t.events) e.time = c.apply(e.time);
-  }
+  // One task per rank: each rewrites only its own trace's timestamps.
+  const auto pst =
+      parallel_for(tc.ranks.size(), max_workers, [&](std::size_t i) {
+        auto& t = tc.ranks[i];
+        const auto& c = corrections[static_cast<std::size_t>(t.rank)];
+        for (auto& e : t.events) e.time = c.apply(e.time);
+      });
+  telemetry::record_stage_parallelism("sync_apply", pst);
   tc.synchronized = true;
 }
 
-std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc) {
+std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc,
+                                          std::size_t max_workers) {
   telemetry::ScopedSpan span("sync");
   if (telemetry::progress_enabled()) telemetry::progress("sync", 0.0);
   auto c = build_corrections(tc);
-  apply_corrections(tc, c);
+  apply_corrections(tc, c, max_workers);
   telemetry::counter("sync.corrections_built").add(c.size());
   telemetry::counter("sync.passes").add(1);
   if (telemetry::progress_enabled()) telemetry::progress("sync", 1.0);

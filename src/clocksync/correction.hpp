@@ -8,6 +8,7 @@
 // exactly how the hierarchical scheme stacks its two measurements.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hpp"
@@ -50,11 +51,15 @@ std::vector<LinearCorrection> build_corrections(
     const tracing::TraceCollection& tc);
 
 /// Applies per-rank corrections to all event timestamps in place and
-/// flags the collection as synchronized.
+/// flags the collection as synchronized. Each rank's rewrite is
+/// independent, so the work fans out on up to `max_workers` threads
+/// (0 = hardware concurrency); results are identical for any count.
 void apply_corrections(tracing::TraceCollection& tc,
-                       const std::vector<LinearCorrection>& corrections);
+                       const std::vector<LinearCorrection>& corrections,
+                       std::size_t max_workers = 0);
 
 /// build + apply in one step; returns the corrections used.
-std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc);
+std::vector<LinearCorrection> synchronize(tracing::TraceCollection& tc,
+                                          std::size_t max_workers = 0);
 
 }  // namespace metascope::clocksync

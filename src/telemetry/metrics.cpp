@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace metascope::telemetry {
 
@@ -151,6 +152,19 @@ Gauge& gauge(const std::string& name) {
 
 Histogram& histogram(const std::string& name, std::vector<double> bounds) {
   return Registry::instance().histogram(name, std::move(bounds));
+}
+
+void record_stage_parallelism(const std::string& stage,
+                              const ParallelForStats& stats) {
+  if (!enabled()) return;
+  const std::string prefix = "pipeline." + stage;
+  gauge(prefix + ".workers").set(static_cast<double>(stats.workers));
+  counter(prefix + ".items").add(stats.items);
+  Histogram& h = histogram(
+      prefix + ".worker_items",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+  for (const std::size_t n : stats.items_per_worker)
+    h.observe(static_cast<double>(n));
 }
 
 }  // namespace metascope::telemetry

@@ -30,6 +30,10 @@
 
 #include "common/json.hpp"
 
+namespace metascope {
+struct ParallelForStats;  // common/parallel.hpp
+}
+
 namespace metascope::telemetry {
 
 namespace detail {
@@ -188,5 +192,15 @@ class Registry {
 Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+/// Records one parallelized pipeline stage's fan-out under a uniform
+/// naming scheme: "pipeline.<stage>.workers" (gauge, pool size used),
+/// "pipeline.<stage>.items" (counter, items processed), and
+/// "pipeline.<stage>.worker_items" (histogram, items per worker — the
+/// stage's load-balance distribution). Every stage that fans out on
+/// common/parallel reports through this, so snapshots describe the
+/// whole pipeline's parallelism consistently.
+void record_stage_parallelism(const std::string& stage,
+                              const ParallelForStats& stats);
 
 }  // namespace metascope::telemetry

@@ -107,8 +107,11 @@ std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
   w.put_u32(kTraceMagic);
   w.put_u32(kTraceFormatVersion);
   w.put_svarint(trace.rank);
-
+  // v2 header: both counts precede their payloads so the decoder can
+  // reserve once and detect truncation before parsing.
   w.put_varint(trace.sync.size());
+  w.put_varint(trace.events.size());
+
   for (const auto& s : trace.sync) {
     w.put_u8(static_cast<std::uint8_t>(s.phase));
     w.put_svarint(s.ref_rank);
@@ -117,7 +120,6 @@ std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
     w.put_f64(s.error_bound);
   }
 
-  w.put_varint(trace.events.size());
   for (const auto& e : trace.events) {
     w.put_u8(static_cast<std::uint8_t>(e.type));
     w.put_f64(e.time);
@@ -155,47 +157,71 @@ LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes) {
   t.rank = static_cast<Rank>(r.get_svarint());
 
   const auto nsync = r.get_varint();
-  for (std::uint64_t i = 0; i < nsync; ++i) {
-    OffsetRecord s;
-    s.phase = r.get_u8();
-    s.ref_rank = static_cast<Rank>(r.get_svarint());
-    s.local_mid = r.get_f64();
-    s.offset = r.get_f64();
-    s.error_bound = r.get_f64();
-    t.sync.push_back(s);
-  }
-
   const auto nev = r.get_varint();
-  t.events.reserve(nev);
-  for (std::uint64_t i = 0; i < nev; ++i) {
-    Event e;
-    e.type = static_cast<EventType>(r.get_u8());
-    e.time = r.get_f64();
-    switch (e.type) {
-      case EventType::Enter:
-        e.region = RegionId{static_cast<int>(r.get_svarint())};
-        break;
-      case EventType::Exit:
-        break;
-      case EventType::Send:
-      case EventType::Recv:
-        e.peer = static_cast<Rank>(r.get_svarint());
-        e.tag = static_cast<int>(r.get_svarint());
-        e.bytes = r.get_f64();
-        e.comm = CommId{static_cast<int>(r.get_svarint())};
-        break;
-      case EventType::CollExit:
-        e.region = RegionId{static_cast<int>(r.get_svarint())};
-        e.comm = CommId{static_cast<int>(r.get_svarint())};
-        e.root = static_cast<Rank>(r.get_svarint());
-        e.bytes = r.get_f64();
-        e.sent_bytes = r.get_f64();
-        e.recvd_bytes = r.get_f64();
-        break;
-      default:
-        throw Error("corrupt trace: unknown event type");
+  // Cheapest possible records: a sync record is >= 26 bytes (u8 +
+  // 1-byte svarint + 3 f64), an event >= 9 (u8 type + f64 time). A
+  // header whose counts cannot fit in the remaining bytes means the
+  // file was cut short — say so before reserving or parsing anything.
+  if (nsync * 26 + nev * 9 > r.remaining())
+    throw Error("truncated trace file for rank " + std::to_string(t.rank) +
+                ": header promises " + std::to_string(nsync) +
+                " sync records and " + std::to_string(nev) +
+                " events but only " + std::to_string(r.remaining()) +
+                " payload bytes are present");
+
+  // Events larger than the 9-byte floor can still run out of bytes
+  // mid-record on a file cut inside the payload; convert the reader's
+  // underflow into the same truncation diagnosis.
+  bool corrupt_type = false;
+  try {
+    t.sync.reserve(nsync);
+    for (std::uint64_t i = 0; i < nsync; ++i) {
+      OffsetRecord s;
+      s.phase = r.get_u8();
+      s.ref_rank = static_cast<Rank>(r.get_svarint());
+      s.local_mid = r.get_f64();
+      s.offset = r.get_f64();
+      s.error_bound = r.get_f64();
+      t.sync.push_back(s);
     }
-    t.events.push_back(e);
+
+    t.events.reserve(nev);
+    for (std::uint64_t i = 0; i < nev; ++i) {
+      Event e;
+      e.type = static_cast<EventType>(r.get_u8());
+      e.time = r.get_f64();
+      switch (e.type) {
+        case EventType::Enter:
+          e.region = RegionId{static_cast<int>(r.get_svarint())};
+          break;
+        case EventType::Exit:
+          break;
+        case EventType::Send:
+        case EventType::Recv:
+          e.peer = static_cast<Rank>(r.get_svarint());
+          e.tag = static_cast<int>(r.get_svarint());
+          e.bytes = r.get_f64();
+          e.comm = CommId{static_cast<int>(r.get_svarint())};
+          break;
+        case EventType::CollExit:
+          e.region = RegionId{static_cast<int>(r.get_svarint())};
+          e.comm = CommId{static_cast<int>(r.get_svarint())};
+          e.root = static_cast<Rank>(r.get_svarint());
+          e.bytes = r.get_f64();
+          e.sent_bytes = r.get_f64();
+          e.recvd_bytes = r.get_f64();
+          break;
+        default:
+          corrupt_type = true;
+          throw Error("corrupt trace: unknown event type");
+      }
+      t.events.push_back(e);
+    }
+  } catch (const Error&) {
+    if (corrupt_type) throw;
+    throw Error("truncated trace file for rank " + std::to_string(t.rank) +
+                ": payload ends after " + std::to_string(t.events.size()) +
+                " of " + std::to_string(nev) + " events");
   }
   MSC_CHECK(r.at_end(), "trailing bytes in trace file");
   return t;

@@ -7,7 +7,13 @@
 // Layout (all integers varint/LEB128, floats little-endian f64):
 //   defs file:   magic "MSCD" u32-version, region table, metahost table,
 //                location table, communicator table, sync scheme flags
-//   trace file:  magic "MSCT" u32-version, rank, sync records, events
+//   trace file:  magic "MSCT" u32-version, rank, sync-record count,
+//                event count, sync records, events
+//
+// Version 2 moved both counts into the header (before the records they
+// describe) so a decoder can size its vectors with a single reserve
+// before touching the payload, and can report truncation up front by
+// checking the counts against the bytes actually present.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +24,7 @@
 
 namespace metascope::tracing {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /// Serialization of the shared definition records (+ collection flags).
 std::vector<std::uint8_t> encode_defs(const TraceCollection& tc);

@@ -60,7 +60,10 @@ struct TraceCollection {
 
   /// Global event order: indices (rank, event index) sorted by timestamp
   /// (ties broken by rank, then position). The KOJAK-style serial
-  /// analyzer replays this order.
+  /// analyzer replays this order. Implemented as a k-way merge of the
+  /// per-rank streams (O(N log k)) when each stream is time-sorted —
+  /// the normal case — with a full O(N log N) sort as fallback; both
+  /// produce the identical order.
   struct GlobalRef {
     Rank rank;
     std::uint32_t index;

@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/binary_io.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "simmpi/program.hpp"
 #include "tracing/epilog_io.hpp"
 #include "simnet/presets.hpp"
 #include "tracing/measurement.hpp"
@@ -167,6 +173,150 @@ TEST_F(ArchiveTest, ManifestsWrittenPerMetahost) {
     EXPECT_EQ(manifest.at("metahost_id").as_int(), m);
     EXPECT_EQ(manifest.at("ranks").as_array().size(),
               topo.ranks_on(MetahostId{m}).size());
+  }
+}
+
+TEST_F(ArchiveTest, ZeroEventRanksRoundTrip) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  // Ranks that recorded nothing (e.g. spawned but never instrumented)
+  // must survive the archive round trip as empty traces.
+  for (Rank r : {0, 5, 31})
+    data.traces.ranks[static_cast<std::size_t>(r)].events.clear();
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "z");
+  arch.write_traces(topo, data.traces);
+  const auto loaded = arch.read_traces();
+  ASSERT_EQ(loaded.num_ranks(), data.traces.num_ranks());
+  for (int r = 0; r < loaded.num_ranks(); ++r)
+    EXPECT_EQ(loaded.ranks[static_cast<std::size_t>(r)],
+              data.traces.ranks[static_cast<std::size_t>(r)]);
+  EXPECT_TRUE(loaded.ranks[0].events.empty());
+}
+
+TEST_F(ArchiveTest, MetahostWithoutRanksRoundTrips) {
+  // Three metahosts, ranks placed on only the first two: the third still
+  // gets a partial archive with defs + an empty manifest, and reading
+  // the archive back skips it cleanly.
+  simnet::Topology topo;
+  simnet::MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = 2;
+  simnet::MetahostSpec b = a;
+  b.name = "B";
+  simnet::MetahostSpec c = a;
+  c.name = "Idle";
+  const auto ia = topo.add_metahost(a);
+  const auto ib = topo.add_metahost(b);
+  topo.add_metahost(c);
+  topo.place_block(ia, 2, 1);
+  topo.place_block(ib, 2, 1);
+
+  simmpi::ProgramBuilder pb(topo.num_ranks());
+  for (Rank r = 0; r < topo.num_ranks(); ++r)
+    pb.on(r).enter("main").barrier().exit();
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  const auto data = workloads::run_experiment(topo, pb.take(), cfg);
+
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "idle");
+  arch.write_traces(topo, data.traces);
+  const auto loaded = arch.read_traces();
+  ASSERT_EQ(loaded.num_ranks(), data.traces.num_ranks());
+  for (int r = 0; r < loaded.num_ranks(); ++r)
+    EXPECT_EQ(loaded.ranks[static_cast<std::size_t>(r)],
+              data.traces.ranks[static_cast<std::size_t>(r)]);
+  const std::string manifest_path =
+      arch.dir_of(MetahostId{2}) + "/manifest.2.json";
+  ASSERT_TRUE(fs::exists(manifest_path));
+  const metascope::Json manifest = load_json_file(manifest_path);
+  EXPECT_EQ(manifest.at("ranks").as_array().size(), 0u);
+}
+
+TEST_F(ArchiveTest, ParallelWriteAndReadMatchSerial) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout_s =
+      FileSystemLayout::per_metahost(base_ + "/serial", topo.num_metahosts());
+  const auto layout_p = FileSystemLayout::per_metahost(
+      base_ + "/parallel", topo.num_metahosts());
+  const auto arch_s = ExperimentArchive::create(topo, layout_s, "w");
+  const auto arch_p = ExperimentArchive::create(topo, layout_p, "w");
+  arch_s.write_traces(topo, data.traces, 1);
+  arch_p.write_traces(topo, data.traces, 8);
+  // Byte-identical files regardless of worker count.
+  for (Rank r = 0; r < topo.num_ranks(); ++r) {
+    const std::string rel =
+        "/w.msc/" + tracing::trace_filename(r);
+    EXPECT_EQ(read_file_bytes(layout_s.root_of(topo.metahost_of(r)) + rel),
+              read_file_bytes(layout_p.root_of(topo.metahost_of(r)) + rel))
+        << "rank " << r;
+  }
+  // And the parallel read reassembles the same collection.
+  const auto loaded = arch_p.read_traces(8);
+  for (int r = 0; r < loaded.num_ranks(); ++r)
+    EXPECT_EQ(loaded.ranks[static_cast<std::size_t>(r)],
+              data.traces.ranks[static_cast<std::size_t>(r)]);
+}
+
+TEST_F(ArchiveTest, ConcurrentLocalTraceReadsAreSafe) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "mt");
+  arch.write_traces(topo, data.traces);
+  // The parallel analyzer's access pattern: many threads pulling local
+  // traces from the same archive object concurrently. Run under the
+  // TSan preset via the "replay" label.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 4; ++w) {
+    readers.emplace_back([&, w] {
+      for (int iter = 0; iter < 3; ++iter) {
+        for (Rank r = w; r < topo.num_ranks(); r += 4) {
+          const auto t = arch.read_local_trace(topo, r);
+          if (!(t == data.traces.ranks[static_cast<std::size_t>(r)]))
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ArchiveTest, TruncatedTraceFileFailsWithClearError) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_metatrace();
+  workloads::ExperimentConfig cfg;
+  const auto data = workloads::run_experiment(topo, prog, cfg);
+  const auto layout =
+      FileSystemLayout::per_metahost(base_, topo.num_metahosts());
+  const auto arch = ExperimentArchive::create(topo, layout, "cut");
+  arch.write_traces(topo, data.traces);
+  const std::string victim = layout.root_of(topo.metahost_of(4)) +
+                             "/cut.msc/" + tracing::trace_filename(4);
+  auto bytes = read_file_bytes(victim);
+  bytes.resize(bytes.size() / 2);
+  write_file_bytes(victim, bytes);
+  try {
+    (void)arch.read_traces();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated trace file"),
+              std::string::npos)
+        << e.what();
   }
 }
 

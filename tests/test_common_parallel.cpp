@@ -1,0 +1,132 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace metascope {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{2}, std::size_t{7}}) {
+    const std::size_t n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    const auto st = parallel_for(
+        n, workers, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(st.items, n);
+    EXPECT_GE(st.workers, 1u);
+    EXPECT_EQ(std::accumulate(st.items_per_worker.begin(),
+                              st.items_per_worker.end(), std::size_t{0}),
+              n);
+  }
+}
+
+TEST(ParallelFor, SingleWorkerRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  const auto st =
+      parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(st.workers, 1u);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  const auto st =
+      parallel_for(0, 4, [&](std::size_t) { FAIL() << "body called"; });
+  EXPECT_EQ(st.items, 0u);
+}
+
+TEST(ParallelFor, BodyExceptionPropagates) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [&](std::size_t i) {
+                              if (i == 7) throw Error("boom");
+                            }),
+               Error);
+  // Inline path too.
+  EXPECT_THROW(parallel_for(16, 1,
+                            [&](std::size_t i) {
+                              if (i == 7) throw Error("boom");
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, DisjointSlotWritesAreDeterministic) {
+  const std::size_t n = 64;
+  std::vector<std::vector<double>> runs;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    std::vector<double> out(n, 0.0);
+    parallel_for(n, workers, [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += static_cast<double>(k) * 0.5;
+      out[i] = acc;
+    });
+    runs.push_back(std::move(out));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(WorkerPool, ResolveWorkersClampsToTasksAndFloor) {
+  EXPECT_EQ(WorkerPool::resolve_workers(3, 8), 3u);
+  EXPECT_EQ(WorkerPool::resolve_workers(100, 4), 4u);
+  EXPECT_GE(WorkerPool::resolve_workers(100, 0), 1u);
+  EXPECT_EQ(WorkerPool::resolve_workers(0, 4), 1u);
+}
+
+TEST(WorkerPool, SuspendedTasksCompleteViaResume) {
+  // Even tasks suspend once; each odd task resumes its left neighbour
+  // unconditionally. If the resume lands before the neighbour's suspend,
+  // the Running->Notified leg converts the suspend into an immediate
+  // requeue — either interleaving completes. Exercises the
+  // Parked/Notified handshake from a plain pool client (no replay
+  // machinery involved).
+  const std::size_t n = 32;
+  WorkerPool pool(n, 4);
+  std::vector<std::atomic<int>> phase(n);
+  for (auto& p : phase) p.store(0);
+  pool.run([&](std::size_t t) {
+    if (t % 2 == 0 && phase[t].fetch_add(1) == 0) return StepOutcome::Suspend;
+    if (t % 2 == 1) pool.resume(t - 1);
+    return StepOutcome::Done;
+  });
+  const PoolStats& st = pool.stats();
+  EXPECT_EQ(st.tasks, n);
+  EXPECT_EQ(st.suspensions, n / 2);
+  EXPECT_EQ(st.requeues, st.suspensions);
+  EXPECT_EQ(std::accumulate(st.tasks_per_worker.begin(),
+                            st.tasks_per_worker.end(), std::size_t{0}),
+            n);
+}
+
+TEST(WorkerPool, AllTasksParkedThrowsDeadlockError) {
+  const std::size_t n = 8;
+  WorkerPool pool(n, 2);
+  try {
+    pool.run([&](std::size_t) { return StepOutcome::Suspend; });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_EQ(e.stuck_tasks(), n);
+    EXPECT_EQ(e.total_tasks(), n);
+  }
+}
+
+TEST(WorkerPool, StepExceptionRethrownFromRun) {
+  WorkerPool pool(16, 4);
+  EXPECT_THROW(pool.run([&](std::size_t t) {
+    if (t == 11) throw Error("step failed");
+    return StepOutcome::Done;
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace metascope

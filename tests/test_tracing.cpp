@@ -2,7 +2,10 @@
 // stamping, binary trace I/O, and message matching.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "simnet/presets.hpp"
@@ -326,6 +329,137 @@ TEST(Matching, UnmatchedRecvDetected) {
   e.time = 1.0;
   tc.ranks[1].events.push_back(e);
   EXPECT_THROW(match_messages(tc), Error);
+}
+
+/// The pre-merge implementation, kept as the behavioural reference: a
+/// full sort over every (rank, index) pair with the (time, rank, index)
+/// comparator.
+std::vector<TraceCollection::GlobalRef> reference_order(
+    const TraceCollection& tc) {
+  std::vector<TraceCollection::GlobalRef> order;
+  for (const auto& t : tc.ranks)
+    for (std::uint32_t i = 0; i < t.events.size(); ++i)
+      order.push_back({t.rank, i});
+  std::sort(order.begin(), order.end(),
+            [&tc](const TraceCollection::GlobalRef& a,
+                  const TraceCollection::GlobalRef& b) {
+              const double ta =
+                  tc.ranks[static_cast<std::size_t>(a.rank)].events[a.index]
+                      .time;
+              const double tb =
+                  tc.ranks[static_cast<std::size_t>(b.rank)].events[b.index]
+                      .time;
+              if (ta != tb) return ta < tb;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.index < b.index;
+            });
+  return order;
+}
+
+bool same_order(const std::vector<TraceCollection::GlobalRef>& a,
+                const std::vector<TraceCollection::GlobalRef>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].rank != b[i].rank || a[i].index != b[i].index) return false;
+  return true;
+}
+
+TEST(GlobalOrder, EqualTimestampsOrderByRankThenIndexDeterministically) {
+  // Heavy timestamp collisions across ranks (every time is a multiple
+  // of 0.5 shared by all ranks) so the tie-break carries the ordering.
+  TraceCollection tc;
+  tc.ranks.resize(4);
+  for (int r = 0; r < 4; ++r) {
+    tc.ranks[static_cast<std::size_t>(r)].rank = r;
+    for (int i = 0; i < 50; ++i) {
+      Event e;
+      e.type = i % 2 == 0 ? EventType::Enter : EventType::Exit;
+      e.region = RegionId{0};
+      e.time = 0.5 * (i / 5);  // ten events share each timestamp
+      tc.ranks[static_cast<std::size_t>(r)].events.push_back(e);
+    }
+  }
+  const auto merged = tc.global_order();
+  EXPECT_TRUE(same_order(merged, reference_order(tc)));
+  // Repeated calls are identical (no hidden iteration-order dependence).
+  EXPECT_TRUE(same_order(merged, tc.global_order()));
+  // Among equal timestamps, rank ascends and within a rank index ascends.
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const auto& a = merged[i - 1];
+    const auto& b = merged[i];
+    const double ta =
+        tc.ranks[static_cast<std::size_t>(a.rank)].events[a.index].time;
+    const double tb =
+        tc.ranks[static_cast<std::size_t>(b.rank)].events[b.index].time;
+    if (ta == tb) {
+      EXPECT_TRUE(a.rank < b.rank || (a.rank == b.rank && a.index < b.index));
+    }
+  }
+}
+
+TEST(GlobalOrder, UnsortedRankStreamFallsBackToFullSort) {
+  TraceCollection tc;
+  tc.ranks.resize(2);
+  tc.ranks[0].rank = 0;
+  tc.ranks[1].rank = 1;
+  const double times0[] = {3.0, 1.0, 2.0};  // deliberately out of order
+  const double times1[] = {0.5, 1.5, 2.5};
+  for (double t : times0) {
+    Event e;
+    e.type = EventType::Enter;
+    e.region = RegionId{0};
+    e.time = t;
+    tc.ranks[0].events.push_back(e);
+  }
+  for (double t : times1) {
+    Event e;
+    e.type = EventType::Enter;
+    e.region = RegionId{0};
+    e.time = t;
+    tc.ranks[1].events.push_back(e);
+  }
+  EXPECT_TRUE(same_order(tc.global_order(), reference_order(tc)));
+}
+
+TEST(EpilogIo, TruncatedTraceFileReportsClearError) {
+  LocalTrace t;
+  t.rank = 3;
+  for (int i = 0; i < 20; ++i) {
+    Event e;
+    e.type = EventType::Send;
+    e.peer = 1;
+    e.tag = i;
+    e.bytes = 128.0;
+    e.comm = CommId{0};
+    e.time = 0.1 * i;
+    t.events.push_back(e);
+  }
+  const auto bytes = encode_local_trace(t);
+  // Chop at several depths: inside the last event, mid-payload, and just
+  // past the header. Every cut must produce the truncation Error, never
+  // a raw buffer underflow.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{12}}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + keep);
+    try {
+      (void)decode_local_trace(cut);
+      FAIL() << "expected Error at keep=" << keep;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated trace file"),
+                std::string::npos)
+          << "keep=" << keep << " message: " << e.what();
+    }
+  }
+}
+
+TEST(EpilogIo, ZeroEventTraceRoundTrips) {
+  LocalTrace t;
+  t.rank = 7;
+  const auto decoded = decode_local_trace(encode_local_trace(t));
+  EXPECT_EQ(decoded.rank, 7);
+  EXPECT_TRUE(decoded.events.empty());
+  EXPECT_TRUE(decoded.sync.empty());
 }
 
 TEST(GlobalOrder, SortedByTime) {
