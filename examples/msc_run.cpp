@@ -4,19 +4,26 @@
 // Usage:
 //   msc_run <experiment.json> [--cube out.cubex] [--profile] [--amortize]
 //           [--timeline] [--metrics out.json] [--progress]
+//           [--patterns key[,key...]] [--list-patterns]
 //           [--log-level {debug,info,warn,error,off}]
 //
 // --metrics writes the full telemetry snapshot (pipeline-stage spans,
 // counters, histograms) as JSON; --progress prints a rate-limited
 // stage/percent line to stderr while the pipeline runs.
 //
+// --patterns restricts the analysis to the named wait-state detectors
+// (comma-separated keys; overrides the config's "analysis.patterns");
+// --list-patterns prints the available detector keys and exits.
+//
 // With no arguments it runs a built-in demo config (and prints it), so
 // `./build/examples/msc_run` works out of the box.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/pattern_engine.hpp"
 #include "clocksync/amortization.hpp"
 #include "clocksync/clock_condition.hpp"
 #include "clocksync/correction.hpp"
@@ -56,6 +63,30 @@ const char* kDemoConfig = R"({
   "sync": "hierarchical-two"
 })";
 
+std::vector<std::string> split_keys(const std::string& list) {
+  std::vector<std::string> keys;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string key =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!key.empty()) keys.push_back(key);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return keys;
+}
+
+void print_pattern_list() {
+  std::printf("available patterns (--patterns key[,key...]):\n");
+  for (const auto& e : analysis::PatternRegistry::standard().entries()) {
+    if (e.structural) continue;
+    std::printf("  %-20s %s (%s)\n", e.key.c_str(), e.metric.c_str(),
+                e.description.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,9 +96,20 @@ int main(int argc, char** argv) {
   bool want_profile = false;
   bool want_amortize = false;
   bool want_timeline = false;
+  bool have_cli_patterns = false;
+  std::vector<std::string> cli_patterns;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cube") == 0 && i + 1 < argc) {
       cube_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-patterns") == 0) {
+      print_pattern_list();
+      return 0;
+    } else if (std::strcmp(argv[i], "--patterns") == 0 && i + 1 < argc) {
+      have_cli_patterns = true;
+      cli_patterns = split_keys(argv[++i]);
+    } else if (std::strncmp(argv[i], "--patterns=", 11) == 0) {
+      have_cli_patterns = true;
+      cli_patterns = split_keys(argv[i] + 11);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
@@ -137,11 +179,16 @@ int main(int argc, char** argv) {
       std::printf("%s\n", report::render_timeline(data.traces).c_str());
     }
 
-    const auto res = analysis::analyze_parallel(data.traces);
+    analysis::ReplayOptions aopts;
+    aopts.patterns = have_cli_patterns ? cli_patterns : spec.patterns;
+    const auto res = analysis::analyze_parallel(data.traces, aopts);
     std::printf("%s\n", report::render_report(res.cube).c_str());
     for (MetricId m :
          {res.patterns.grid_late_sender, res.patterns.grid_late_receiver,
-          res.patterns.grid_wait_nxn, res.patterns.grid_wait_barrier}) {
+          res.patterns.grid_wait_nxn, res.patterns.grid_wait_barrier,
+          res.patterns.grid_nxn_completion,
+          res.patterns.grid_barrier_completion}) {
+      if (!m.valid()) continue;  // pattern deselected via --patterns
       const std::string pb = report::render_pair_breakdown(res.cube, m);
       if (!pb.empty()) std::printf("%s\n", pb.c_str());
     }

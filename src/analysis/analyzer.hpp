@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "analysis/patterns.hpp"
 #include "report/cube.hpp"
@@ -64,17 +66,24 @@ struct AnalysisResult {
   AnalysisStats stats;
 };
 
-/// Tuning knobs for analyze_parallel.
+/// Tuning knobs shared by both analyzers.
 struct ReplayOptions {
   /// Worker-pool size cap; 0 = std::thread::hardware_concurrency().
   /// The pool never exceeds the rank count. Tests pin this to exercise
   /// specific schedules (e.g. a 2-worker pool over 1024 ranks).
+  /// Ignored by analyze_serial.
   std::size_t max_workers{0};
+  /// Pattern-detector keys to enable (PatternRegistry::standard keys,
+  /// e.g. "late_sender", "barrier_completion"). Empty = all detectors.
+  /// The structural category time partition is always on. Throws Error
+  /// on an unknown key.
+  std::vector<std::string> patterns;
 };
 
 /// Serial (merged-trace) pattern search. Requires a synchronized
 /// collection (or scheme None, whose clocks are the engine's own).
-AnalysisResult analyze_serial(const tracing::TraceCollection& tc);
+AnalysisResult analyze_serial(const tracing::TraceCollection& tc,
+                              const ReplayOptions& opts = {});
 
 /// Parallel replay-based pattern search on a bounded worker pool:
 /// message matching re-enacted over lock-striped in-memory channels,

@@ -1,0 +1,326 @@
+// The built-in pattern detectors (paper §3–§4 wait states, KOJAK [18],
+// plus the two Scalasca-style Completion patterns), expressed as
+// pattern-engine callbacks. Each detector evaluates the pure formulas
+// from wait_rules.hpp against its callback context and emits through
+// the PatternSink; none of them keeps cross-record state, so the
+// engine's canonical dispatch order fully determines the accumulation.
+#include <memory>
+
+#include "analysis/pattern_engine.hpp"
+#include "analysis/wait_rules.hpp"
+#include "common/error.hpp"
+
+namespace metascope::analysis {
+
+namespace {
+
+// --- structural: the category time partition -----------------------------
+
+/// Accumulates every rank's exclusive region time into its category
+/// metric (Time / Point-to-point / Collective / Synchronization). Wait
+/// detectors afterwards move time out of the categories into patterns,
+/// so severity stays an exact partition of total time. Structural:
+/// always enabled, owns no metric node of its own.
+class CategoryTimeDetector final : public PatternDetector {
+ public:
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "category_time", MetricNodeSpec{}, kOnRegion, /*structural=*/true};
+    return s;
+  }
+
+  void bind(const report::MetricTree& tree) override {
+    time_ = tree.find("Time");
+    p2p_ = tree.find("Point-to-point");
+    collective_ = tree.find("Collective");
+    synchronization_ = tree.find("Synchronization");
+  }
+
+  void region_exit(const RegionCtx& ctx, PatternSink& sink) override {
+    sink.base_time(metric_for(ctx.category), ctx.cnode, ctx.rank,
+                   ctx.seconds);
+  }
+
+ private:
+  [[nodiscard]] MetricId metric_for(RegionCategory cat) const {
+    switch (cat) {
+      case RegionCategory::User: return time_;
+      case RegionCategory::PointToPoint: return p2p_;
+      case RegionCategory::Collective: return collective_;
+      case RegionCategory::Synchronization: return synchronization_;
+    }
+    MSC_ASSERT(false, "unknown region category");
+  }
+
+  MetricId time_, p2p_, collective_, synchronization_;
+};
+
+// --- point-to-point ------------------------------------------------------
+
+class LateSenderDetector final : public PatternDetector {
+ public:
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "late_sender",
+        MetricNodeSpec{
+            "Late Sender",
+            "Blocking receive posted earlier than the matching send",
+            "Point-to-point", "Grid Late Sender",
+            "Late Sender with sender and receiver on different metahosts"},
+        kOnP2p};
+    return s;
+  }
+
+  void p2p_matched(const P2pCtx& ctx, PatternSink& sink) override {
+    const double w = late_sender_wait(*ctx.send, *ctx.recv);
+    if (w <= 0.0) return;
+    sink.severity(metric_of(ctx.grid), category_, ctx.recv->cnode,
+                  ctx.recv->rank, w, ctx.defs->metahost_of(ctx.recv->rank),
+                  ctx.defs->metahost_of(ctx.send->rank));
+  }
+};
+
+class LateReceiverDetector final : public PatternDetector {
+ public:
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "late_receiver",
+        MetricNodeSpec{
+            "Late Receiver",
+            "Sender blocked in a synchronous send until the receive was "
+            "posted",
+            "Point-to-point", "Grid Late Receiver",
+            "Late Receiver with sender and receiver on different metahosts"},
+        kOnP2p};
+    return s;
+  }
+
+  void p2p_matched(const P2pCtx& ctx, PatternSink& sink) override {
+    const double w = late_receiver_wait(*ctx.send, *ctx.recv,
+                                        ctx.send_is_blocking_standard);
+    if (w <= 0.0) return;
+    sink.severity(metric_of(ctx.grid), category_, ctx.send->cnode,
+                  ctx.send->rank, w, ctx.defs->metahost_of(ctx.send->rank),
+                  ctx.defs->metahost_of(ctx.recv->rank));
+  }
+};
+
+// --- collectives ---------------------------------------------------------
+
+class EarlyReduceDetector final : public PatternDetector {
+ public:
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "early_reduce",
+        MetricNodeSpec{
+            "Early Reduce",
+            "Root of an N-to-1 operation waiting for the last contribution",
+            "Collective", "Grid Early Reduce",
+            "Early Reduce on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+
+  void collective_completed(const CollCtx& ctx, PatternSink& sink) override {
+    if (ctx.kind != CollectiveKind::NToOne) return;
+    // The root waits until the last contribution was sent.
+    MSC_CHECK(ctx.root != kNoRank, "N-to-1 collective without root");
+    const CollMember* root_m = nullptr;
+    double last_sender_enter = -kInfTime;
+    MetahostId last_sender_mh;
+    for (const CollMember& m : *ctx.members) {
+      if (m.rank == ctx.root) {
+        root_m = &m;
+      } else if (m.enter > last_sender_enter) {
+        last_sender_enter = m.enter;
+        last_sender_mh = ctx.defs->metahost_of(m.rank);
+      }
+    }
+    MSC_CHECK(root_m != nullptr, "root not among collective members");
+    if (ctx.members->size() <= 1) return;
+    const double w = clamp_wait(last_sender_enter - root_m->enter,
+                                root_m->exit - root_m->enter);
+    if (w <= 0.0) return;
+    sink.severity(metric_of(ctx.grid), category_, root_m->cnode,
+                  root_m->rank, w, ctx.defs->metahost_of(root_m->rank),
+                  last_sender_mh);
+  }
+};
+
+class LateBroadcastDetector final : public PatternDetector {
+ public:
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "late_broadcast",
+        MetricNodeSpec{
+            "Late Broadcast",
+            "Non-root entered a 1-to-N operation before the root",
+            "Collective", "Grid Late Broadcast",
+            "Late Broadcast on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+
+  void collective_completed(const CollCtx& ctx, PatternSink& sink) override {
+    if (ctx.kind != CollectiveKind::OneToN) return;
+    // Non-roots entering before the root wait for the root's data.
+    MSC_CHECK(ctx.root != kNoRank, "1-to-N collective without root");
+    double root_enter = 0.0;
+    bool found = false;
+    for (const CollMember& m : *ctx.members) {
+      if (m.rank == ctx.root) {
+        root_enter = m.enter;
+        found = true;
+      }
+    }
+    MSC_CHECK(found, "root not among collective members");
+    for (const CollMember& m : *ctx.members) {
+      if (m.rank == ctx.root) continue;
+      const double w = clamp_wait(root_enter - m.enter, m.exit - m.enter);
+      if (w <= 0.0) continue;
+      sink.severity(metric_of(ctx.grid), category_, m.cnode, m.rank, w,
+                    ctx.defs->metahost_of(m.rank),
+                    ctx.defs->metahost_of(ctx.root));
+    }
+  }
+};
+
+/// Shared body of Wait at N x N / Wait at Barrier: every member's time
+/// from its own entry until the last participant arrived.
+class WaitAtCollectiveDetector : public PatternDetector {
+ protected:
+  explicit WaitAtCollectiveDetector(CollectiveKind kind) : kind_(kind) {}
+
+ public:
+  void collective_completed(const CollCtx& ctx, PatternSink& sink) override {
+    if (ctx.kind != kind_) return;
+    for (const CollMember& m : *ctx.members) {
+      const double w =
+          clamp_wait(ctx.last_enter - m.enter, m.exit - m.enter);
+      if (w <= 0.0) continue;
+      sink.severity(metric_of(ctx.grid), category_, m.cnode, m.rank, w,
+                    ctx.defs->metahost_of(m.rank), ctx.last_enter_mh);
+    }
+  }
+
+ private:
+  CollectiveKind kind_;
+};
+
+class WaitAtNxNDetector final : public WaitAtCollectiveDetector {
+ public:
+  WaitAtNxNDetector() : WaitAtCollectiveDetector(CollectiveKind::NxN) {}
+
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "wait_nxn",
+        MetricNodeSpec{
+            "Wait at N x N",
+            "Time in an N-to-N operation until all participants reached it",
+            "Collective", "Grid Wait at N x N",
+            "Wait at N x N on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+};
+
+class WaitAtBarrierDetector final : public WaitAtCollectiveDetector {
+ public:
+  WaitAtBarrierDetector()
+      : WaitAtCollectiveDetector(CollectiveKind::Barrier) {}
+
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "wait_barrier",
+        MetricNodeSpec{
+            "Wait at Barrier",
+            "Time in a barrier until all participants reached it",
+            "Synchronization", "Grid Wait at Barrier",
+            "Wait at Barrier on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+};
+
+/// Shared body of the two Completion patterns: for members that arrived
+/// before the last participant, the tail of their dwell after that last
+/// arrival — the operation's drain phase. Members arriving at the last
+/// enter time (every member of a single-member or simultaneously
+/// entered instance) contribute nothing, so the detectors emit zero —
+/// never negative — severity on those edge cases.
+class CompletionDetector : public PatternDetector {
+ protected:
+  explicit CompletionDetector(CollectiveKind kind) : kind_(kind) {}
+
+ public:
+  void collective_completed(const CollCtx& ctx, PatternSink& sink) override {
+    if (ctx.kind != kind_) return;
+    for (const CollMember& m : *ctx.members) {
+      const double w = collective_completion_wait(ctx.last_enter, m);
+      if (w <= 0.0) continue;
+      sink.severity(metric_of(ctx.grid), category_, m.cnode, m.rank, w,
+                    ctx.defs->metahost_of(m.rank), ctx.last_enter_mh);
+    }
+  }
+
+ private:
+  CollectiveKind kind_;
+};
+
+class NxNCompletionDetector final : public CompletionDetector {
+ public:
+  NxNCompletionDetector() : CompletionDetector(CollectiveKind::NxN) {}
+
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "nxn_completion",
+        MetricNodeSpec{
+            "N x N Completion",
+            "Time completing an N-to-N operation after the last "
+            "participant arrived",
+            "Collective", "Grid N x N Completion",
+            "N x N Completion on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+};
+
+class BarrierCompletionDetector final : public CompletionDetector {
+ public:
+  BarrierCompletionDetector()
+      : CompletionDetector(CollectiveKind::Barrier) {}
+
+  [[nodiscard]] const DetectorSpec& spec() const override {
+    static const DetectorSpec s{
+        "barrier_completion",
+        MetricNodeSpec{
+            "Barrier Completion",
+            "Time completing a barrier after the last participant arrived",
+            "Synchronization", "Grid Barrier Completion",
+            "Barrier Completion on a communicator spanning metahosts"},
+        kOnCollective};
+    return s;
+  }
+};
+
+}  // namespace
+
+PatternRegistry PatternRegistry::standard() {
+  PatternRegistry reg;
+  // Registration order is the per-record dispatch order and therefore
+  // part of the bit-exactness contract: Late Sender before Late
+  // Receiver mirrors the pre-engine hit-emission order, and the wait
+  // detectors precede their Completion counterparts.
+  reg.add(std::make_unique<CategoryTimeDetector>());
+  reg.add(std::make_unique<LateSenderDetector>());
+  reg.add(std::make_unique<LateReceiverDetector>());
+  reg.add(std::make_unique<EarlyReduceDetector>());
+  reg.add(std::make_unique<LateBroadcastDetector>());
+  reg.add(std::make_unique<WaitAtNxNDetector>());
+  reg.add(std::make_unique<NxNCompletionDetector>());
+  reg.add(std::make_unique<WaitAtBarrierDetector>());
+  reg.add(std::make_unique<BarrierCompletionDetector>());
+  return reg;
+}
+
+}  // namespace metascope::analysis

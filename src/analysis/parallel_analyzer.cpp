@@ -17,9 +17,9 @@
 // unrelated channels never contend on one global lock.
 //
 // The replay only *collects* match records; pattern evaluation happens
-// afterwards in the shared replay core's canonical order, which is what
-// makes the cube bit-identical to analyze_serial for any worker count
-// and any interleaving.
+// afterwards in the pattern engine's canonical dispatch order, which is
+// what makes the cube bit-identical to analyze_serial for any worker
+// count and any interleaving.
 
 #include <atomic>
 #include <cstddef>
@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
-#include "analysis/base_accum.hpp"
+#include "analysis/pattern_engine.hpp"
 #include "analysis/prepare.hpp"
 #include "analysis/replay_core.hpp"
 #include "analysis/replay_scheduler.hpp"
@@ -126,7 +126,10 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
   // validates collective completeness, so no replay task can wait
   // forever on an instance that never completes.
   const PreparedTrace prep = prepare(tc, opts.max_workers);
-  res.patterns = init_cube(res.cube, tc, prep);
+  PatternRegistry registry = PatternRegistry::standard();
+  registry.select(opts.patterns);
+  PatternEngine engine(registry, res.cube);
+  res.patterns = engine.install(tc, prep);
   const tracing::TraceDefs& defs = tc.defs;
 
   telemetry::ScopedSpan replay_span("replay");
@@ -252,8 +255,7 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
     instances.push_back(std::move(inst));
   });
 
-  accumulate(res.patterns, defs, std::move(p2p), std::move(instances),
-             res.cube, res.stats);
+  engine.dispatch(std::move(p2p), std::move(instances), res.stats);
   fill_trace_stats(tc, res.stats);
   std::uint64_t wire_total = 0;
   for (const RankTask& t : tasks) wire_total += t.wire_bytes;

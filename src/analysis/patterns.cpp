@@ -2,64 +2,33 @@
 
 namespace metascope::analysis {
 
-PatternSet PatternSet::install(report::MetricTree& tree) {
+PatternSet PatternSet::from_tree(const report::MetricTree& tree) {
   PatternSet p;
-  p.time = tree.add("Time", "Total execution time");
-  p.mpi = tree.add("MPI", "Time spent in MPI calls", p.time);
-  p.communication =
-      tree.add("Communication", "MPI communication", p.mpi);
-  p.p2p = tree.add("Point-to-point", "Point-to-point communication",
-                   p.communication);
-  p.late_sender = tree.add(
-      "Late Sender",
-      "Blocking receive posted earlier than the matching send", p.p2p);
-  p.grid_late_sender =
-      tree.add("Grid Late Sender",
-               "Late Sender with sender and receiver on different metahosts",
-               p.late_sender);
-  p.late_receiver = tree.add(
-      "Late Receiver",
-      "Sender blocked in a synchronous send until the receive was posted",
-      p.p2p);
-  p.grid_late_receiver = tree.add(
-      "Grid Late Receiver",
-      "Late Receiver with sender and receiver on different metahosts",
-      p.late_receiver);
-  p.collective =
-      tree.add("Collective", "Collective communication", p.communication);
-  p.early_reduce = tree.add(
-      "Early Reduce",
-      "Root of an N-to-1 operation waiting for the last contribution",
-      p.collective);
-  p.grid_early_reduce =
-      tree.add("Grid Early Reduce",
-               "Early Reduce on a communicator spanning metahosts",
-               p.early_reduce);
-  p.late_broadcast = tree.add(
-      "Late Broadcast",
-      "Non-root entered a 1-to-N operation before the root", p.collective);
-  p.grid_late_broadcast =
-      tree.add("Grid Late Broadcast",
-               "Late Broadcast on a communicator spanning metahosts",
-               p.late_broadcast);
-  p.wait_nxn = tree.add(
-      "Wait at N x N",
-      "Time in an N-to-N operation until all participants reached it",
-      p.collective);
-  p.grid_wait_nxn =
-      tree.add("Grid Wait at N x N",
-               "Wait at N x N on a communicator spanning metahosts",
-               p.wait_nxn);
-  p.synchronization =
-      tree.add("Synchronization", "MPI synchronization", p.mpi);
-  p.wait_barrier =
-      tree.add("Wait at Barrier",
-               "Time in a barrier until all participants reached it",
-               p.synchronization);
-  p.grid_wait_barrier =
-      tree.add("Grid Wait at Barrier",
-               "Wait at Barrier on a communicator spanning metahosts",
-               p.wait_barrier);
+  auto lookup = [&](const char* name) {
+    return tree.contains(name) ? tree.find(name) : MetricId{};
+  };
+  p.time = lookup("Time");
+  p.mpi = lookup("MPI");
+  p.communication = lookup("Communication");
+  p.p2p = lookup("Point-to-point");
+  p.late_sender = lookup("Late Sender");
+  p.grid_late_sender = lookup("Grid Late Sender");
+  p.late_receiver = lookup("Late Receiver");
+  p.grid_late_receiver = lookup("Grid Late Receiver");
+  p.collective = lookup("Collective");
+  p.early_reduce = lookup("Early Reduce");
+  p.grid_early_reduce = lookup("Grid Early Reduce");
+  p.late_broadcast = lookup("Late Broadcast");
+  p.grid_late_broadcast = lookup("Grid Late Broadcast");
+  p.wait_nxn = lookup("Wait at N x N");
+  p.grid_wait_nxn = lookup("Grid Wait at N x N");
+  p.nxn_completion = lookup("N x N Completion");
+  p.grid_nxn_completion = lookup("Grid N x N Completion");
+  p.synchronization = lookup("Synchronization");
+  p.wait_barrier = lookup("Wait at Barrier");
+  p.grid_wait_barrier = lookup("Grid Wait at Barrier");
+  p.barrier_completion = lookup("Barrier Completion");
+  p.grid_barrier_completion = lookup("Grid Barrier Completion");
   return p;
 }
 
@@ -82,6 +51,16 @@ CollectiveKind collective_kind(const std::string& name) {
   if (name == "MPI_Reduce" || name == "MPI_Gather")
     return CollectiveKind::NToOne;
   return CollectiveKind::NotACollective;
+}
+
+RegionClassTable::RegionClassTable(const NameTable<RegionId>& regions) {
+  info_.resize(regions.size());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const std::string& name = regions.all()[i];
+    info_[i].category = classify_region(name);
+    info_[i].kind = collective_kind(name);
+    info_[i].blocking_send = name == "MPI_Send";
+  }
 }
 
 }  // namespace metascope::analysis

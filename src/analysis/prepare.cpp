@@ -30,6 +30,7 @@ PreparedTrace prepare(const tracing::TraceCollection& tc,
   if (telemetry::progress_enabled()) telemetry::progress("prepare", 0.0);
   PreparedTrace out;
   out.tc = &tc;
+  out.region_table = RegionClassTable(tc.defs.regions);
   out.per_rank.resize(static_cast<std::size_t>(tc.num_ranks()));
   out.excl_time.resize(static_cast<std::size_t>(tc.num_ranks()));
   out.rank_span.resize(static_cast<std::size_t>(tc.num_ranks()), 0.0);

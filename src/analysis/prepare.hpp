@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/patterns.hpp"
 #include "report/cube.hpp"
 #include "tracing/trace.hpp"
 
@@ -42,6 +43,9 @@ struct ExclusiveTime {
 struct PreparedTrace {
   const tracing::TraceCollection* tc{nullptr};
   report::CallTree calls;
+  /// RegionId -> {category, collective kind, blocking-send?}, computed
+  /// once here so replay hot paths never classify by region name.
+  RegionClassTable region_table;
   std::vector<EventAnnotations> per_rank;
   /// Exclusive time per call path, per rank (summed over occurrences).
   std::vector<std::vector<ExclusiveTime>> excl_time;

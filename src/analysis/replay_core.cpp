@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "analysis/patterns.hpp"
 #include "common/error.hpp"
 #include "telemetry/metrics.hpp"
 #include "tracing/epilog_io.hpp"
@@ -60,46 +59,6 @@ std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
     }
   }
   return out;
-}
-
-void accumulate(const PatternSet& ps, const tracing::TraceDefs& defs,
-                std::vector<P2pRecord>&& p2p,
-                std::vector<CollInstance>&& colls, report::Cube& cube,
-                AnalysisStats& stats) {
-  // Canonical order, independent of collection order: p2p by (receiver,
-  // receive position), instances by (comm, seq), members by rank.
-  std::sort(p2p.begin(), p2p.end(),
-            [](const P2pRecord& a, const P2pRecord& b) {
-              if (a.recv.rank != b.recv.rank) return a.recv.rank < b.recv.rank;
-              return a.recv_index < b.recv_index;
-            });
-  std::sort(colls.begin(), colls.end(),
-            [](const CollInstance& a, const CollInstance& b) {
-              if (a.comm != b.comm) return a.comm < b.comm;
-              return a.seq < b.seq;
-            });
-
-  std::vector<WaitHit> hits;
-  for (const P2pRecord& r : p2p) p2p_hits(ps, defs, r.send, r.recv, hits);
-  for (CollInstance& inst : colls) {
-    const auto& comm = defs.comms[static_cast<std::size_t>(inst.comm)];
-    MSC_CHECK(inst.members.size() == comm.members.size(),
-              "incomplete collective instance in trace");
-    std::sort(inst.members.begin(), inst.members.end(),
-              [](const CollMember& a, const CollMember& b) {
-                return a.rank < b.rank;
-              });
-    const CollectiveKind kind =
-        collective_kind(defs.regions.name(inst.region));
-    collective_hits(ps, defs, kind, comm.members, inst.members, inst.root,
-                    hits);
-  }
-  for (const WaitHit& h : hits) apply_hit(cube, h);
-
-  stats.messages = p2p.size();
-  stats.collective_instances = colls.size();
-  telemetry::counter("analysis.messages").add(stats.messages);
-  telemetry::counter("analysis.collectives").add(stats.collective_instances);
 }
 
 void fill_trace_stats(const tracing::TraceCollection& tc,

@@ -1,20 +1,21 @@
-// The replay core shared by both analyzers. The serial (merged-trace)
-// and parallel (replay) analyzers used to duplicate the p2p-side
-// construction, collective-instance grouping, and hit accumulation; they
-// now differ only in *how* they collect the raw match records:
+// Match-record collection shared by both analyzers. The serial
+// (merged-trace) and parallel (replay) analyzers used to duplicate the
+// p2p-side construction and collective-instance grouping; they now
+// differ only in *how* they collect the raw match records:
 //
 //  - analyze_serial matches messages post-mortem and walks each rank's
 //    op events once;
 //  - analyze_parallel re-enacts the communication on a bounded worker
 //    pool and collects the same records from the replay.
 //
-// Either way the records funnel into accumulate(), which evaluates the
-// shared wait-state formulas in one canonical order — p2p records by
-// (receiver rank, receive position), collective instances by
-// (communicator, sequence) with members sorted by rank. Canonical order
-// makes the floating-point accumulation identical between analyzers and
-// across repeated parallel runs: cubes are bit-identical, not merely
-// close, regardless of worker count or interleaving.
+// Either way the records funnel into PatternEngine::dispatch
+// (pattern_engine.hpp), which fires the detector callbacks in one
+// canonical order — p2p records by (receiver rank, receive position),
+// collective instances by (communicator, sequence) with members sorted
+// by rank. Canonical order makes the floating-point accumulation
+// identical between analyzers and across repeated parallel runs: cubes
+// are bit-identical, not merely close, regardless of worker count or
+// interleaving.
 #pragma once
 
 #include <cstdint>
@@ -53,16 +54,6 @@ P2pSide make_side(const PreparedTrace& prep, Rank rank, std::uint32_t index);
 /// parallel analyzer builds the same instances during the replay.
 std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
                                             const PreparedTrace& prep);
-
-/// Evaluates the shared pattern formulas over the collected records in
-/// canonical order and applies every hit to the cube. Fills
-/// stats.messages / stats.collective_instances. Throws Error on an
-/// incomplete collective instance (prepare() validates the same
-/// condition earlier; this is the last line of defense).
-void accumulate(const PatternSet& ps, const tracing::TraceDefs& defs,
-                std::vector<P2pRecord>&& p2p,
-                std::vector<CollInstance>&& colls, report::Cube& cube,
-                AnalysisStats& stats);
 
 /// Fills the trace-volume stats both analyzers report (total events,
 /// encoded trace bytes).

@@ -1,5 +1,5 @@
 #include "analysis/analyzer.hpp"
-#include "analysis/base_accum.hpp"
+#include "analysis/pattern_engine.hpp"
 #include "analysis/prepare.hpp"
 #include "analysis/replay_core.hpp"
 #include "common/error.hpp"
@@ -8,7 +8,8 @@
 
 namespace metascope::analysis {
 
-AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
+AnalysisResult analyze_serial(const tracing::TraceCollection& tc,
+                              const ReplayOptions& opts) {
   MSC_CHECK(tc.synchronized || tc.scheme == tracing::SyncScheme::None,
             "analyze_serial requires synchronized timestamps");
   AnalysisResult res;
@@ -16,11 +17,14 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
   // baseline benches compare against), so its prepare stays on one
   // worker too.
   const PreparedTrace prep = prepare(tc, 1);
-  res.patterns = init_cube(res.cube, tc, prep);
+  PatternRegistry registry = PatternRegistry::standard();
+  registry.select(opts.patterns);
+  PatternEngine engine(registry, res.cube);
+  res.patterns = engine.install(tc, prep);
 
   // Post-mortem matching resolves both sides of every message; the
   // collective grouping walks each rank's op events once. Evaluation
-  // order is the replay core's canonical order, shared with the
+  // order is the pattern engine's canonical order, shared with the
   // parallel analyzer. The span carries the same "replay" name as the
   // parallel analyzer's: it is the same pipeline stage, differently
   // implemented.
@@ -33,8 +37,7 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc) {
                             make_side(prep, p.recv.rank, p.recv.index),
                             p.recv.index});
 
-  accumulate(res.patterns, tc.defs, std::move(p2p),
-             group_collectives(tc, prep), res.cube, res.stats);
+  engine.dispatch(std::move(p2p), group_collectives(tc, prep), res.stats);
   fill_trace_stats(tc, res.stats);
   return res;
 }

@@ -6,11 +6,9 @@
 
 namespace metascope::analysis {
 
-namespace {
 double clamp_wait(double wait, double op_dur) {
   return std::clamp(wait, 0.0, std::max(op_dur, 0.0));
 }
-}  // namespace
 
 void apply_hit(report::Cube& cube, const WaitHit& hit) {
   if (hit.seconds <= 0.0) return;
@@ -25,17 +23,31 @@ double late_sender_wait(const P2pSide& send, const P2pSide& recv) {
                     recv.op_exit - recv.op_enter);
 }
 
-double late_receiver_wait(const NameTable<RegionId>& regions,
-                          const P2pSide& send, const P2pSide& recv) {
-  if (regions.name(send.region) != "MPI_Send") return 0.0;
+double late_receiver_wait(const P2pSide& send, const P2pSide& recv,
+                          bool blocking_standard_send) {
+  if (!blocking_standard_send) return 0.0;
   if (recv.op_enter > send.op_exit) return 0.0;
   return clamp_wait(recv.op_enter - send.op_enter,
                     send.op_exit - send.op_enter);
 }
 
+double collective_completion_wait(double last_enter, const CollMember& m) {
+  if (m.enter >= last_enter) return 0.0;
+  return clamp_wait(m.exit - last_enter, m.exit - m.enter);
+}
+
+bool comm_spans_metahosts(const tracing::TraceDefs& defs,
+                          const std::vector<Rank>& comm_members) {
+  MSC_CHECK(!comm_members.empty(), "empty communicator");
+  const MetahostId first = defs.metahost_of(comm_members.front());
+  for (Rank r : comm_members)
+    if (defs.metahost_of(r) != first) return true;
+  return false;
+}
+
 void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
-              const P2pSide& send, const P2pSide& recv,
-              std::vector<WaitHit>& out) {
+              const RegionClassTable& rct, const P2pSide& send,
+              const P2pSide& recv, std::vector<WaitHit>& out) {
   const bool grid = defs.crosses_metahosts(send.rank, recv.rank);
   const double ls = late_sender_wait(send, recv);
   if (ls > 0.0) {
@@ -49,7 +61,8 @@ void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
     h.peer_mh = defs.metahost_of(send.rank);
     out.push_back(h);
   }
-  const double lr = late_receiver_wait(defs.regions, send, recv);
+  const double lr = late_receiver_wait(
+      send, recv, rct.is_blocking_standard_send(send.region));
   if (lr > 0.0) {
     WaitHit h;
     h.metric = ps.late_receiver_of(grid);
@@ -61,15 +74,6 @@ void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
     h.peer_mh = defs.metahost_of(recv.rank);
     out.push_back(h);
   }
-}
-
-bool comm_spans_metahosts(const tracing::TraceDefs& defs,
-                          const std::vector<Rank>& comm_members) {
-  MSC_CHECK(!comm_members.empty(), "empty communicator");
-  const MetahostId first = defs.metahost_of(comm_members.front());
-  for (Rank r : comm_members)
-    if (defs.metahost_of(r) != first) return true;
-  return false;
 }
 
 void collective_hits(const PatternSet& ps, const tracing::TraceDefs& defs,

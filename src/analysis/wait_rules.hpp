@@ -1,5 +1,8 @@
-// The wait-state formulas shared verbatim by the serial and the parallel
-// analyzer — both must produce bit-identical severities.
+// The pure wait-state formulas (paper §3–§4). Detectors in
+// detectors.cpp evaluate these from pattern-engine callbacks; the
+// formulas stay free functions so tests can probe edge cases directly
+// and bench_replay_scaling can reproduce the pre-engine "direct call"
+// accumulation as its dispatch-overhead baseline.
 //
 // Waits are always clamped into the waiting operation's own duration, so
 // severity never exceeds measured time even under residual clock error.
@@ -30,6 +33,11 @@ struct WaitHit {
 /// Applies a hit to the cube (pattern +, category -, pair breakdown).
 void apply_hit(report::Cube& cube, const WaitHit& hit);
 
+/// clamp(wait, 0, max(op_dur, 0)) — every formula routes through this,
+/// which is why severities are never negative and never exceed the
+/// waiting operation's measured duration.
+double clamp_wait(double wait, double op_dur);
+
 /// What each side of a point-to-point transfer knows about itself.
 struct P2pSide {
   Rank rank{kNoRank};
@@ -46,23 +54,18 @@ struct P2pSide {
 /// Returns seconds (0 if no wait).
 double late_sender_wait(const P2pSide& send, const P2pSide& recv);
 
-/// Late Receiver: a *blocking standard send* (region MPI_Send) still
-/// inside the call when the receive was posted — the rendezvous
-/// handshake made the sender wait. Two guards keep it honest:
-///  - region must be MPI_Send (an MPI_Sendrecv's late exit is its own
-///    receive half, already covered by Late Sender; an MPI_Isend never
-///    blocks);
+/// Late Receiver: a *blocking standard send* still inside the call when
+/// the receive was posted — the rendezvous handshake made the sender
+/// wait. Two guards keep it honest:
+///  - `blocking_standard_send` must hold, i.e. the send-side region is
+///    MPI_Send (an MPI_Sendrecv's late exit is its own receive half,
+///    already covered by Late Sender; an MPI_Isend never blocks) — the
+///    caller reads it from the RegionClassTable, no string compare;
 ///  - the receive must have been posted before the send op ended (an
 ///    eager send that completed long before the receive was posted did
 ///    not wait for it).
-double late_receiver_wait(const NameTable<RegionId>& regions,
-                          const P2pSide& send, const P2pSide& recv);
-
-/// Emits Late Sender / Late Receiver hits (with grid specialization) for
-/// one matched message.
-void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
-              const P2pSide& send, const P2pSide& recv,
-              std::vector<WaitHit>& out);
+double late_receiver_wait(const P2pSide& send, const P2pSide& recv,
+                          bool blocking_standard_send);
 
 /// One member of a collective instance.
 struct CollMember {
@@ -72,8 +75,32 @@ struct CollMember {
   CallPathId cnode;
 };
 
+/// Completion ("drain") time of one collective member: the part of its
+/// dwell after the last participant arrived. Members that themselves
+/// arrived at `last_enter` (including every member of a single-member
+/// or simultaneously-entered instance) have no completion wait — their
+/// whole dwell is intrinsic operation time, not drain.
+double collective_completion_wait(double last_enter, const CollMember& m);
+
+/// True if the communicator spans more than one metahost.
+bool comm_spans_metahosts(const tracing::TraceDefs& defs,
+                          const std::vector<Rank>& comm_members);
+
+// --- pre-engine direct emitters -----------------------------------------
+// These reproduce the hardwired accumulation exactly as it ran before the
+// pattern engine (Late Sender/Receiver per message; the wait patterns per
+// collective instance — no Completion). bench_replay_scaling uses them as
+// the direct-call baseline its <=5% dispatch-overhead gate compares
+// against; they are not called on any analyzer path.
+
+/// Emits Late Sender / Late Receiver hits (with grid specialization) for
+/// one matched message.
+void p2p_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
+              const RegionClassTable& rct, const P2pSide& send,
+              const P2pSide& recv, std::vector<WaitHit>& out);
+
 /// Emits hits for one completed collective instance. `root` is the
-/// global root rank (kNoRank for rootless); `kind` from collective_kind().
+/// global root rank (kNoRank for rootless); `kind` from the class table.
 /// The grid flag is decided from the communicator's full member list
 /// (paper: "the entire communicator is searched for processes differing
 /// in their machine location component").
@@ -81,9 +108,5 @@ void collective_hits(const PatternSet& ps, const tracing::TraceDefs& defs,
                      CollectiveKind kind, const std::vector<Rank>& comm_members,
                      const std::vector<CollMember>& members, Rank root,
                      std::vector<WaitHit>& out);
-
-/// True if the communicator spans more than one metahost.
-bool comm_spans_metahosts(const tracing::TraceDefs& defs,
-                          const std::vector<Rank>& comm_members);
 
 }  // namespace metascope::analysis

@@ -88,6 +88,13 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
+DoubleCounter& Registry::dcounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = dcounters_[name];
+  if (!slot) slot = std::make_unique<DoubleCounter>();
+  return *slot;
+}
+
 Gauge& Registry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(m_);
   auto& slot = gauges_[name];
@@ -108,6 +115,9 @@ Json Registry::to_json() const {
   Json counters{Json::Object{}};
   for (const auto& [name, c] : counters_)
     counters.set(name, Json(c->value()));
+  Json dcounters{Json::Object{}};
+  for (const auto& [name, c] : dcounters_)
+    dcounters.set(name, Json(c->value()));
   Json gauges{Json::Object{}};
   for (const auto& [name, g] : gauges_) gauges.set(name, Json(g->value()));
   Json histograms{Json::Object{}};
@@ -130,6 +140,7 @@ Json Registry::to_json() const {
   }
   Json out{Json::Object{}};
   out.set("counters", std::move(counters));
+  out.set("dcounters", std::move(dcounters));
   out.set("gauges", std::move(gauges));
   out.set("histograms", std::move(histograms));
   return out;
@@ -138,12 +149,17 @@ Json Registry::to_json() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(m_);
   for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, c] : dcounters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 Counter& counter(const std::string& name) {
   return Registry::instance().counter(name);
+}
+
+DoubleCounter& dcounter(const std::string& name) {
+  return Registry::instance().dcounter(name);
 }
 
 Gauge& gauge(const std::string& name) {

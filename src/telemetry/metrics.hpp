@@ -104,6 +104,37 @@ class Counter {
   std::array<detail::Cell, detail::kShards> cells_;
 };
 
+/// Monotonic sum of double contributions (detected severity seconds,
+/// accumulated durations). Same sharding discipline as Counter; the
+/// hot-path add is a relaxed atomic<double>::fetch_add into the calling
+/// thread's shard.
+class DoubleCounter {
+ public:
+  void add(double v) noexcept {
+#if !defined(MSC_NO_TELEMETRY)
+    if (!enabled()) return;
+    cells_[detail::shard_index() % detail::kShards].v.fetch_add(
+        v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  /// Merged value across shards (snapshot-time only).
+  [[nodiscard]] double value() const {
+    double sum = 0.0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& c : cells_) c.v.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::DoubleCell, detail::kShards> cells_;
+};
+
 /// Last-write-wins instantaneous value (pool sizes, sim time, residuals).
 class Gauge {
  public:
@@ -167,12 +198,14 @@ class Registry {
   static Registry& instance();
 
   Counter& counter(const std::string& name);
+  DoubleCounter& dcounter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `bounds` applies only on first registration of `name`.
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
-  /// sorted by name — snapshots of identical state are identical.
+  /// {"counters": {...}, "dcounters": {...}, "gauges": {...},
+  /// "histograms": {...}} with keys sorted by name — snapshots of
+  /// identical state are identical.
   [[nodiscard]] Json to_json() const;
 
   /// Zeroes every registered metric (registrations survive). Tests and
@@ -184,12 +217,14 @@ class Registry {
 
   mutable std::mutex m_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<DoubleCounter>> dcounters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// Shorthands for Registry::instance().
 Counter& counter(const std::string& name);
+DoubleCounter& dcounter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name, std::vector<double> bounds);
 

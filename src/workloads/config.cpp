@@ -166,7 +166,13 @@ ExperimentSpec parse_experiment(const Json& doc) {
   cfg.measurement.seed = seed + 2;
 
   ExperimentSpec spec{doc.string_or("name", "experiment"), std::move(topo),
-                      std::move(prog), cfg};
+                      std::move(prog), cfg, {}};
+  if (doc.has("analysis")) {
+    const Json& a = doc.at("analysis");
+    if (a.has("patterns"))
+      for (const auto& p : a.at("patterns").as_array())
+        spec.patterns.push_back(p.as_string());
+  }
   return spec;
 }
 

@@ -19,11 +19,17 @@
 //   "workload": { "kind": "metatrace" | "clockbench" | "pattern-demo",
 //                 ... kind-specific knobs ... },
 //   "clocks": { "perfect": false, "max_offset_s": 0.5, "max_drift": 1e-5 },
-//   "sync": "hierarchical-two" | "flat-two" | "flat-single" | "none"
+//   "sync": "hierarchical-two" | "flat-two" | "flat-single" | "none",
+//   "analysis": { "patterns": ["late_sender", "wait_barrier", ...] }
 // }
+//
+// "analysis.patterns" restricts the pattern engine to the named
+// detector keys (see `msc_run --list-patterns`); omitted or empty means
+// every built-in pattern runs.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "simmpi/program.hpp"
@@ -37,6 +43,9 @@ struct ExperimentSpec {
   simnet::Topology topology;
   simmpi::Program program;
   ExperimentConfig config;
+  /// Pattern-detector keys to enable (empty = all), fed to
+  /// analysis::ReplayOptions::patterns.
+  std::vector<std::string> patterns;
 };
 
 /// Parses a complete experiment spec; throws Error with a field-level

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/pattern_engine.hpp"
 #include "common/error.hpp"
 #include "simnet/presets.hpp"
 #include "workloads/experiment.hpp"
@@ -194,9 +195,11 @@ TEST(LateBroadcastPattern, NonRootsWaitForRoot) {
     EXPECT_NEAR(rank_total(res, ps.late_broadcast, r), root_delay, 0.005);
 }
 
-TEST(PatternHierarchy, InstallShape) {
+TEST(PatternHierarchy, RegistryInstallShape) {
   report::MetricTree tree;
-  const PatternSet ps = PatternSet::install(tree);
+  PatternRegistry registry = PatternRegistry::standard();
+  registry.install(tree);
+  const PatternSet ps = PatternSet::from_tree(tree);
   EXPECT_EQ(tree.def(ps.grid_late_sender).parent, ps.late_sender);
   EXPECT_EQ(tree.def(ps.grid_wait_barrier).parent, ps.wait_barrier);
   EXPECT_EQ(tree.def(ps.late_sender).parent, ps.p2p);
@@ -207,6 +210,54 @@ TEST(PatternHierarchy, InstallShape) {
   // Names match the paper's labels.
   EXPECT_EQ(tree.def(ps.grid_wait_nxn).name, "Grid Wait at N x N");
   EXPECT_EQ(tree.def(ps.grid_late_sender).name, "Grid Late Sender");
+  // The Completion patterns sit beside their Wait siblings, with grid
+  // children of their own.
+  EXPECT_EQ(tree.def(ps.nxn_completion).parent, ps.collective);
+  EXPECT_EQ(tree.def(ps.barrier_completion).parent, ps.synchronization);
+  EXPECT_EQ(tree.def(ps.grid_nxn_completion).parent, ps.nxn_completion);
+  EXPECT_EQ(tree.def(ps.grid_barrier_completion).parent,
+            ps.barrier_completion);
+  EXPECT_EQ(tree.def(ps.barrier_completion).name, "Barrier Completion");
+}
+
+TEST(PatternHierarchy, SelectionPrunesTree) {
+  report::MetricTree tree;
+  PatternRegistry registry = PatternRegistry::standard();
+  registry.select({"late_sender", "wait_barrier"});
+  registry.install(tree);
+  const PatternSet ps = PatternSet::from_tree(tree);
+  EXPECT_TRUE(ps.late_sender.valid());
+  EXPECT_TRUE(ps.grid_late_sender.valid());
+  EXPECT_TRUE(ps.wait_barrier.valid());
+  // Deselected patterns have no node; the category skeleton stays.
+  EXPECT_FALSE(ps.late_receiver.valid());
+  EXPECT_FALSE(ps.nxn_completion.valid());
+  EXPECT_FALSE(ps.barrier_completion.valid());
+  EXPECT_TRUE(ps.collective.valid());
+  EXPECT_TRUE(ps.synchronization.valid());
+}
+
+TEST(PatternHierarchy, UnknownSelectionKeyThrows) {
+  PatternRegistry registry = PatternRegistry::standard();
+  EXPECT_THROW(registry.select({"late_sendr"}), Error);
+  // Structural detectors are not selectable either.
+  EXPECT_THROW(registry.select({"category_time"}), Error);
+}
+
+TEST(PatternHierarchy, EntriesListEveryBuiltin) {
+  const PatternRegistry registry = PatternRegistry::standard();
+  const auto entries = registry.entries();
+  ASSERT_EQ(entries.size(), 9u);
+  std::size_t selectable = 0;
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.key.empty());
+    EXPECT_TRUE(e.enabled);
+    if (!e.structural) {
+      ++selectable;
+      EXPECT_FALSE(e.metric.empty());
+    }
+  }
+  EXPECT_EQ(selectable, 8u);
 }
 
 TEST(RegionClassification, Categories) {
@@ -217,6 +268,26 @@ TEST(RegionClassification, Categories) {
             RegionCategory::Synchronization);
   EXPECT_EQ(classify_region("MPI_Allreduce"), RegionCategory::Collective);
   EXPECT_EQ(classify_region("MPI_Bcast"), RegionCategory::Collective);
+}
+
+TEST(RegionClassTableTest, MatchesNameClassification) {
+  NameTable<RegionId> regions;
+  const RegionId main_r = regions.intern("main");
+  const RegionId send = regions.intern("MPI_Send");
+  const RegionId isend = regions.intern("MPI_Isend");
+  const RegionId barrier = regions.intern("MPI_Barrier");
+  const RegionId allreduce = regions.intern("MPI_Allreduce");
+  const RegionClassTable table(regions);
+  EXPECT_EQ(table.category(main_r), RegionCategory::User);
+  EXPECT_EQ(table.category(send), RegionCategory::PointToPoint);
+  EXPECT_EQ(table.category(barrier), RegionCategory::Synchronization);
+  EXPECT_EQ(table.category(allreduce), RegionCategory::Collective);
+  EXPECT_EQ(table.kind(allreduce), CollectiveKind::NxN);
+  EXPECT_EQ(table.kind(barrier), CollectiveKind::Barrier);
+  EXPECT_EQ(table.kind(send), CollectiveKind::NotACollective);
+  EXPECT_TRUE(table.is_blocking_standard_send(send));
+  EXPECT_FALSE(table.is_blocking_standard_send(isend));
+  EXPECT_FALSE(table.is_blocking_standard_send(main_r));
 }
 
 TEST(CollectiveKinds, Mapping) {

@@ -114,6 +114,23 @@ TEST_F(TelemetryTest, ConcurrentIncrementsAreExact) {
   EXPECT_EQ(s.counts[1], 3u * kIters);
 }
 
+TEST_F(TelemetryTest, DoubleCounterAccumulatesAcrossThreads) {
+  DoubleCounter& d = dcounter("t.dc");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) d.add(0.25);
+    });
+  }
+  for (auto& th : pool) th.join();
+  // 0.25 is exactly representable: the sharded sum is exact.
+  EXPECT_DOUBLE_EQ(d.value(), 0.25 * kThreads * kIters);
+  d.reset();
+  EXPECT_EQ(d.value(), 0.0);
+}
+
 TEST_F(TelemetryTest, SpansNestAndAggregate) {
   {
     ScopedSpan outer("t.outer");
@@ -141,6 +158,7 @@ TEST_F(TelemetryTest, SpansNestAndAggregate) {
 
 TEST_F(TelemetryTest, SnapshotRoundTripsThroughJson) {
   counter("t.rt").add(3);
+  dcounter("t.rt_d").add(1.25);
   gauge("t.rt_g").set(1.5);
   histogram("t.rt_h", {1.0, 2.0}).observe(1.5);
   {
@@ -148,6 +166,7 @@ TEST_F(TelemetryTest, SnapshotRoundTripsThroughJson) {
   }
   const Json snap = snapshot_json();
   EXPECT_TRUE(snap.has("counters"));
+  EXPECT_TRUE(snap.has("dcounters"));
   EXPECT_TRUE(snap.has("gauges"));
   EXPECT_TRUE(snap.has("histograms"));
   EXPECT_TRUE(snap.has("spans"));

@@ -102,6 +102,30 @@ TEST(Config, FullExperimentParsesAndRuns) {
   EXPECT_GT(res.cube.total_time(), 0.0);
 }
 
+TEST(Config, AnalysisPatternsSelection) {
+  const auto spec = parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "late-sender"},
+    "sync": "none",
+    "clocks": {"perfect": true},
+    "analysis": {"patterns": ["late_sender", "wait_barrier"]}
+  })"));
+  ASSERT_EQ(spec.patterns.size(), 2u);
+  EXPECT_EQ(spec.patterns[0], "late_sender");
+  EXPECT_EQ(spec.patterns[1], "wait_barrier");
+  auto data = run_experiment(spec.topology, spec.program, spec.config);
+  analysis::ReplayOptions opts;
+  opts.patterns = spec.patterns;
+  const auto res = analysis::analyze_serial(data.traces, opts);
+  EXPECT_TRUE(res.patterns.late_sender.valid());
+  EXPECT_FALSE(res.patterns.late_receiver.valid());
+  // Omitted section: every pattern runs.
+  const auto all = parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "late-sender"}})"));
+  EXPECT_TRUE(all.patterns.empty());
+}
+
 TEST(Config, ClockbenchWorkload) {
   const auto spec = parse_experiment(Json::parse(R"({
     "topology": {"preset": "ibm-power", "procs": 4},
