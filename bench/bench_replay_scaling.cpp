@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/pattern_engine.hpp"
@@ -27,6 +28,7 @@
 #include "simmpi/program.hpp"
 #include "simnet/topology.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "tracing/matching.hpp"
 #include "workloads/experiment.hpp"
 
@@ -278,50 +280,115 @@ int main() {
   // synchronization, prepare, and the pooled replay — so the <= 5%
   // budget gates the archive/sync/prepare spans and the per-stage
   // parallelism metrics, not just the replay counters. Same trace, same
-  // pooled configuration, best-of-5 with recording on vs off; the trace
+  // pooled configuration, best-of-51 with recording on vs off; the trace
   // copy each rep consumes is made outside the timed region.
   bench::banner("Telemetry overhead",
                 "1024 ranks, full pipeline (archive+sync+prepare+replay)");
   analysis::ReplayOptions opts;
   opts.max_workers = hw;
   const auto topo1024 = two_site(512);
-  const std::string ovdir =
-      (std::filesystem::temp_directory_path() / "msc_replay_overhead")
-          .string();
+  // The pass writes and re-reads 1024 trace files; on a spinning or
+  // shared disk the writeback stalls swamp the few-ms effect being
+  // measured, so prefer a RAM-backed directory when the host has one.
+  const std::filesystem::path ovbase =
+      std::filesystem::is_directory("/dev/shm")
+          ? std::filesystem::path("/dev/shm")
+          : std::filesystem::temp_directory_path();
+  const std::string ovdir = (ovbase / "msc_replay_overhead").string();
   std::filesystem::remove_all(ovdir);
   const auto ovlayout = archive::FileSystemLayout::per_metahost(
       ovdir, topo1024.num_metahosts());
   const auto ovarchive =
       archive::ExperimentArchive::create(topo1024, ovlayout, "overhead");
-  auto best_of = [&](int reps) {
-    double best = 1e300;
-    for (int i = 0; i < reps; ++i) {
-      auto tc = data1024.traces;  // untimed copy; synchronize mutates
-      const auto t0 = std::chrono::steady_clock::now();
-      ovarchive.write_traces(topo1024, tc, hw);
-      auto tc2 = ovarchive.read_traces(hw);
-      clocksync::synchronize(tc, hw);
-      (void)analysis::prepare(tc, hw);
-      (void)analysis::analyze_parallel(tc, opts);
-      const auto t1 = std::chrono::steady_clock::now();
-      best = std::min(best, ms_between(t0, t1));
-      (void)tc2;
-    }
-    return best;
+  auto one_pass = [&]() {
+    auto tc = data1024.traces;  // untimed copy; synchronize mutates
+    const auto t0 = std::chrono::steady_clock::now();
+    ovarchive.write_traces(topo1024, tc, hw);
+    auto tc2 = ovarchive.read_traces(hw);
+    clocksync::synchronize(tc, hw);
+    (void)analysis::prepare(tc, hw);
+    (void)analysis::analyze_parallel(tc, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)tc2;
+    return ms_between(t0, t1);
   };
-  telemetry::set_enabled(true);
-  const double on_ms = best_of(5);
-  telemetry::set_enabled(false);
-  const double off_ms = best_of(5);
-  telemetry::set_enabled(true);
+  // Three configurations: registry off, registry on (the default
+  // build), and registry + flight recorder (the `msc_run --trace-out`
+  // configuration, rings at default capacity). The effect being
+  // measured is ~1 ms on a ~20 ms pass, while a shared host adds
+  // stalls worth tens of ms (writeback, noisy neighbours) and drifts
+  // its clock rate in multi-second phases — so the estimator is a
+  // *paired* design: one untimed warm-up primes the page cache, every
+  // round runs all three configurations back to back (same host phase,
+  // order rotating so no configuration always sits in the slot the
+  // host happens to throttle), each gate is computed per round from
+  // adjacent passes, and the median over rounds discards the stalled
+  // ones. The displayed columns are each configuration's floor
+  // (best-of-N); the gates use the paired medians.
+  telemetry::Recorder::instance().configure(
+      telemetry::Recorder::kDefaultRingCapacity);
+  (void)one_pass();  // warm-up: prime the page cache, untimed
+  constexpr int kRounds = 151;
+  double off_ms = 1e300, on_ms = 1e300, rec_ms = 1e300;
+  std::vector<double> reg_ratio, rec_ratio;  // per-round paired gates
+  for (int rep = 0; rep < kRounds; ++rep) {
+    double round_ms[3];  // [0]=off  [1]=registry  [2]=registry+recorder
+    for (int slot = 0; slot < 3; ++slot) {
+      const int cfg = (rep + slot) % 3;
+      telemetry::set_enabled(cfg != 0);
+      telemetry::Recorder::instance().set_enabled(cfg == 2);
+      round_ms[cfg] = one_pass();
+      telemetry::Recorder::instance().set_enabled(false);
+      telemetry::set_enabled(true);
+    }
+    off_ms = std::min(off_ms, round_ms[0]);
+    on_ms = std::min(on_ms, round_ms[1]);
+    rec_ms = std::min(rec_ms, round_ms[2]);
+    reg_ratio.push_back(round_ms[1] / round_ms[0]);
+    rec_ratio.push_back(round_ms[2] / round_ms[1]);
+  }
+  // Context for the overhead number: how many events one full pass
+  // actually records (huge rings so nothing wraps).
+  telemetry::Recorder::instance().configure(std::size_t{1} << 20);
+  telemetry::Recorder::instance().set_enabled(true);
+  (void)one_pass();
+  telemetry::Recorder::instance().set_enabled(false);
+  std::uint64_t events_per_pass = 0;
+  for (const auto& log : telemetry::Recorder::instance().snapshot()) {
+    events_per_pass += log.dropped + log.events.size();
+  }
+  telemetry::Recorder::instance().configure(
+      telemetry::Recorder::kDefaultRingCapacity);
   std::filesystem::remove_all(ovdir);
-  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
-  std::printf("telemetry on : %8.1f ms (best of 5)\n", on_ms);
-  std::printf("telemetry off: %8.1f ms (best of 5)\n", off_ms);
-  std::printf("overhead     : %+7.2f %%  (budget: <= 5%%)\n", overhead_pct);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+  };
+  const double overhead_pct = (median(reg_ratio) - 1.0) * 100.0;
+  const double recorder_overhead_pct = (median(rec_ratio) - 1.0) * 100.0;
+  std::printf("telemetry off         : %8.1f ms (best of 151)\n", off_ms);
+  std::printf("telemetry on          : %8.1f ms (best of 151)\n", on_ms);
+  std::printf("telemetry + recorder  : %8.1f ms (best of 151)\n", rec_ms);
+  std::printf("recorder events/pass  : %8llu\n",
+              static_cast<unsigned long long>(events_per_pass));
+  std::printf(
+      "registry overhead     : %+7.2f %%  (paired median of 151 rounds, budget: <= 5%%) "
+      "%s\n",
+      overhead_pct, overhead_pct <= 5.0 ? "[ok]" : "[OVER BUDGET]");
+  std::printf(
+      "recorder overhead     : %+7.2f %%  (paired median of 151 rounds, budget: <= 5%%) "
+      "%s\n",
+      recorder_overhead_pct,
+      recorder_overhead_pct <= 5.0 ? "[ok]" : "[OVER BUDGET]");
   report.set("telemetry_on_ms", Json(on_ms));
   report.set("telemetry_off_ms", Json(off_ms));
   report.set("telemetry_overhead_pct", Json(overhead_pct));
+  report.set("recorder_on_ms", Json(rec_ms));
+  report.set("recorder_overhead_pct", Json(recorder_overhead_pct));
+  report.set("recorder_overhead_budget_pct", Json(5.0));
+  report.set("recorder_events_per_pass",
+             Json(static_cast<double>(events_per_pass)));
   bench::note(
       "\nShape check: the pooled mode matches or beats thread-per-rank\n"
       "wall-clock while holding the worker count at hardware concurrency;\n"

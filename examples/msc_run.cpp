@@ -4,12 +4,24 @@
 // Usage:
 //   msc_run <experiment.json> [--cube out.cubex] [--profile] [--amortize]
 //           [--timeline] [--metrics out.json] [--progress]
+//           [--trace-out trace.json] [--sample-interval-ms n]
 //           [--patterns key[,key...]] [--list-patterns]
 //           [--log-level {debug,info,warn,error,off}]
 //
 // --metrics writes the full telemetry snapshot (pipeline-stage spans,
-// counters, histograms) as JSON; --progress prints a rate-limited
+// counters, histograms, run metadata, and — when the sampler ran — the
+// time-resolved series) as JSON; --progress prints a rate-limited
 // stage/percent line to stderr while the pipeline runs.
+//
+// --trace-out switches on the flight recorder and writes the analyzer's
+// own execution timeline as Chrome Trace Event JSON (open in Perfetto:
+// one track per worker thread plus a "pipeline" phase track).
+// --sample-interval-ms starts the background sampler that snapshots the
+// metrics registry every n ms into the --metrics document's
+// "timeseries" section. Both are also settable from the config's
+// "telemetry" section; the flags win. Output paths (--cube, --metrics,
+// --trace-out) are validated up front — missing parent directories are
+// created and an unwritable path fails before the pipeline runs.
 //
 // --patterns restricts the analysis to the named wait-state detectors
 // (comma-separated keys; overrides the config's "analysis.patterns");
@@ -18,8 +30,10 @@
 // With no arguments it runs a built-in demo config (and prints it), so
 // `./build/examples/msc_run` works out of the box.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -33,7 +47,10 @@
 #include "report/timeline.hpp"
 #include "report/render.hpp"
 #include "telemetry/progress.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/snapshot.hpp"
+#include "telemetry/trace_export.hpp"
 #include "workloads/config.hpp"
 #include "workloads/experiment.hpp"
 
@@ -93,6 +110,8 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string cube_path;
   std::string metrics_path;
+  std::string trace_path;
+  int sample_interval_ms = -1;  // -1 = not given on the CLI
   bool want_profile = false;
   bool want_amortize = false;
   bool want_timeline = false;
@@ -112,6 +131,17 @@ int main(int argc, char** argv) {
       cli_patterns = split_keys(argv[i] + 11);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--sample-interval-ms") == 0 &&
+               i + 1 < argc) {
+      sample_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--sample-interval-ms=", 21) == 0) {
+      sample_interval_ms = std::atoi(argv[i] + 21);
     } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
       LogLevel level{};
       if (!parse_log_level(argv[++i], level)) {
@@ -144,6 +174,35 @@ int main(int argc, char** argv) {
       std::printf("(no config given — running the built-in demo)\n%s\n\n",
                   kDemoConfig);
     }
+
+    // CLI flags override the config's "telemetry" section.
+    if (trace_path.empty()) trace_path = spec.telemetry.trace_out;
+    if (sample_interval_ms < 0)
+      sample_interval_ms = spec.telemetry.sample_interval_ms;
+
+    // Fail on a bad output path now, not after minutes of pipeline.
+    if (!cube_path.empty()) ensure_writable_file(cube_path);
+    if (!metrics_path.empty()) ensure_writable_file(metrics_path);
+    if (!trace_path.empty()) ensure_writable_file(trace_path);
+
+    const std::size_t workers = std::thread::hardware_concurrency();
+    Json run_meta{Json::Object{}};
+    run_meta.set("workload", spec.name);
+    run_meta.set("seed",
+                 static_cast<std::int64_t>(spec.config.clock_seed));
+    run_meta.set("ranks", spec.topology.num_ranks());
+    run_meta.set("workers", workers);
+    telemetry::set_run_metadata(std::move(run_meta));
+
+    if (!trace_path.empty()) {
+      if (spec.telemetry.ring_capacity > 0)
+        telemetry::Recorder::instance().configure(
+            spec.telemetry.ring_capacity);
+      telemetry::Recorder::instance().set_enabled(true);
+      telemetry::set_thread_label("pipeline");
+    }
+    if (sample_interval_ms > 0)
+      telemetry::start_sampler(sample_interval_ms);
 
     std::printf("experiment '%s'\n%s\n", spec.name.c_str(),
                 spec.topology.describe().c_str());
@@ -197,14 +256,31 @@ int main(int argc, char** argv) {
       report::save_cube(cube_path, res.cube);
       std::printf("severity cube written to %s\n", cube_path.c_str());
     }
+    telemetry::stop_sampler();
     if (!metrics_path.empty()) {
       telemetry::save_snapshot(metrics_path);
       std::printf("telemetry snapshot written to %s\n",
                   metrics_path.c_str());
     }
+    if (!trace_path.empty()) {
+      telemetry::save_chrome_trace(trace_path);
+      std::printf("execution trace written to %s (open in Perfetto)\n",
+                  trace_path.c_str());
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "msc_run: %s\n", e.what());
+    telemetry::stop_sampler();
+    // A failed run is exactly when the timeline matters most: keep
+    // whatever the recorder captured.
+    if (!trace_path.empty()) {
+      try {
+        telemetry::save_chrome_trace(trace_path);
+        std::fprintf(stderr, "partial execution trace written to %s\n",
+                     trace_path.c_str());
+      } catch (const Error&) {
+      }
+    }
     return 1;
   }
 }

@@ -78,6 +78,11 @@ struct ReplayOptions {
   /// The structural category time partition is always on. Throws Error
   /// on an unknown key.
   std::vector<std::string> patterns;
+  /// When the parallel replay deadlocks and the flight recorder is on,
+  /// dump the last N recorded events of every worker thread to stderr
+  /// before throwing. 0 disables the postmortem. Ignored by
+  /// analyze_serial.
+  std::size_t postmortem_events{32};
 };
 
 /// Serial (merged-trace) pattern search. Requires a synchronized

@@ -145,7 +145,7 @@ AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
   std::vector<RankTask> tasks(n);
   for (auto& t : tasks) t.coll_seq.assign(defs.comms.size(), 0);
 
-  ReplayScheduler sched(n, opts.max_workers);
+  ReplayScheduler sched(n, opts.max_workers, opts.postmortem_events);
 
   auto step = [&](std::size_t ti) -> StepResult {
     const Rank me = static_cast<Rank>(ti);

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace metascope::analysis {
 
@@ -174,6 +175,7 @@ void PatternEngine::dispatch(std::vector<P2pRecord>&& p2p,
                              std::vector<CollInstance>&& colls,
                              AnalysisStats& stats) {
   MSC_CHECK(tc_ != nullptr, "PatternEngine::dispatch before install");
+  telemetry::ScopedSpan span("dispatch");
   const tracing::TraceDefs& defs = tc_->defs;
 
   // Canonical order, independent of collection order: p2p by (receiver,

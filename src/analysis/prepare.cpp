@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace metascope::analysis {
@@ -92,8 +93,11 @@ PreparedTrace prepare(const tracing::TraceCollection& tc,
   // writes only its own rank's slots and reads the call tree ids from
   // its private enter list, so results are deterministic and identical
   // for every worker count.
+  telemetry::RecordingObserver rec_obs(
+      "prepare", telemetry::RecordingObserver::fanout_stride(tc.ranks.size()));
   const auto pst = parallel_for(
-      tc.ranks.size(), max_workers, [&](std::size_t ti) {
+      tc.ranks.size(), max_workers,
+      [&](std::size_t ti) {
         const auto& trace = tc.ranks[ti];
         const auto ri = static_cast<std::size_t>(trace.rank);
         const auto& enters = enter_cnodes[ri];
@@ -170,7 +174,8 @@ PreparedTrace prepare(const tracing::TraceCollection& tc,
         if (!trace.events.empty())
           out.rank_span[ri] =
               trace.events.back().time - trace.events.front().time;
-      });
+      },
+      &rec_obs);
   telemetry::record_stage_parallelism("prepare", pst);
 
   // Validate collective-instance completeness up front: every member of

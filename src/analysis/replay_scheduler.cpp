@@ -1,5 +1,6 @@
 #include "analysis/replay_scheduler.hpp"
 
+#include <cstdio>
 #include <string>
 
 #include "common/error.hpp"
@@ -7,8 +8,10 @@
 
 namespace metascope::analysis {
 
-ReplayScheduler::TelemetryObserver::TelemetryObserver()
-    : h_task_runtime_us_(telemetry::histogram(
+ReplayScheduler::TelemetryObserver::TelemetryObserver(
+    std::uint32_t item_stride)
+    : telemetry::RecordingObserver("replay", item_stride),
+      h_task_runtime_us_(telemetry::histogram(
           "replay.task_runtime_us",
           {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6})),
       h_queue_depth_(telemetry::histogram(
@@ -35,8 +38,11 @@ void ReplayScheduler::TelemetryObserver::on_queue_depth(double depth) {
 }
 
 ReplayScheduler::ReplayScheduler(std::size_t num_tasks,
-                                 std::size_t max_workers)
-    : pool_(num_tasks, max_workers) {
+                                 std::size_t max_workers,
+                                 std::size_t postmortem_events)
+    : pool_(num_tasks, max_workers),
+      obs_(telemetry::RecordingObserver::fanout_stride(num_tasks)),
+      postmortem_events_(postmortem_events) {
   pool_.set_observer(&obs_);
   stats_.workers = pool_.stats().workers;
   stats_.tasks = pool_.stats().tasks;
@@ -49,7 +55,13 @@ void ReplayScheduler::run(const StepFn& step) {
     pool_.run(step);
   } catch (const DeadlockError& dl) {
     // Snapshot what did happen before the stall, then rephrase the
-    // generic pool deadlock in replay terms.
+    // generic pool deadlock in replay terms. If the flight recorder was
+    // on, dump what every worker was doing just before the hang first —
+    // the workers have joined by now, so the rings are quiescent.
+    if (postmortem_events_ > 0) {
+      const std::string pm = telemetry::postmortem_report(postmortem_events_);
+      if (!pm.empty()) std::fprintf(stderr, "%s", pm.c_str());
+    }
     const PoolStats& ps = pool_.stats();
     stats_.suspensions = ps.suspensions;
     stats_.steals = ps.steals;

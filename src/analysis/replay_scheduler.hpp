@@ -10,14 +10,21 @@
 //  - "replay.task_runtime_us" and "replay.queue_depth" histograms are
 //    fed from the pool's one-in-16 sampled observer hooks;
 //  - task completions drive the rate-limited "replay" progress line;
+//  - when the flight recorder is on, the pool's lifecycle hooks stream
+//    per-rank task begin/end/suspend/resume/steal events onto each
+//    worker's timeline (telemetry::RecordingObserver base);
 //  - pool deadlocks surface as a replay-specific Error (unmatched
-//    receive / truncated trace), not the pool's generic one.
+//    receive / truncated trace), not the pool's generic one — and when
+//    the recorder is on, the last-N events of every worker are dumped
+//    to stderr first, so the hang is diagnosable instead of opaque.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace metascope::analysis {
 
@@ -43,8 +50,11 @@ struct SchedulerStats {
 class ReplayScheduler {
  public:
   /// `max_workers` == 0 selects std::thread::hardware_concurrency();
-  /// the pool never exceeds the task count.
-  ReplayScheduler(std::size_t num_tasks, std::size_t max_workers = 0);
+  /// the pool never exceeds the task count. `postmortem_events` is the
+  /// last-N-per-worker flight-recorder dump printed to stderr when the
+  /// replay deadlocks (0 disables; no-op unless the recorder is on).
+  ReplayScheduler(std::size_t num_tasks, std::size_t max_workers = 0,
+                  std::size_t postmortem_events = 32);
 
   using StepFn = WorkerPool::StepFn;
 
@@ -66,10 +76,13 @@ class ReplayScheduler {
 
  private:
   /// Routes the pool's observer hooks into the registry histograms and
-  /// the progress reporter.
-  class TelemetryObserver : public WorkerPool::Observer {
+  /// the progress reporter; the RecordingObserver base streams the
+  /// lifecycle hooks onto the flight recorder as "replay" task events,
+  /// decimated by fanout_stride(num_tasks) like every other stage
+  /// fan-out so recorder load stays bounded at high rank counts.
+  class TelemetryObserver : public telemetry::RecordingObserver {
    public:
-    TelemetryObserver();
+    explicit TelemetryObserver(std::uint32_t item_stride);
     [[nodiscard]] bool wants_samples() const override;
     void on_task_done(std::size_t done, std::size_t total) override;
     void on_task_runtime_us(double us) override;
@@ -83,6 +96,7 @@ class ReplayScheduler {
   WorkerPool pool_;
   TelemetryObserver obs_;
   SchedulerStats stats_;
+  std::size_t postmortem_events_;
 };
 
 }  // namespace metascope::analysis

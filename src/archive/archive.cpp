@@ -10,6 +10,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "tracing/epilog_io.hpp"
 
@@ -216,13 +217,18 @@ void ExperimentArchive::write_traces(const simnet::Topology& topo,
 
   // One task per rank: encode + write its own trace file. Files are
   // distinct paths, so the fan-out never contends on a target.
-  const auto pst =
-      parallel_for(tc.ranks.size(), max_workers, [&](std::size_t i) {
+  telemetry::RecordingObserver rec_obs(
+      "archive_write",
+      telemetry::RecordingObserver::fanout_stride(tc.ranks.size()));
+  const auto pst = parallel_for(
+      tc.ranks.size(), max_workers,
+      [&](std::size_t i) {
         const auto& t = tc.ranks[i];
         const std::string& dir = dir_of(topo.metahost_of(t.rank));
         write_file_bytes(dir + "/" + tracing::trace_filename(t.rank),
                          tracing::encode_local_trace(t));
-      });
+      },
+      &rec_obs);
   telemetry::record_stage_parallelism("archive_write", pst);
 
   for (int m = 0; m < topo.num_metahosts(); ++m) {
@@ -255,15 +261,20 @@ tracing::TraceCollection ExperimentArchive::read_traces(
   std::vector<std::pair<std::size_t, Rank>> files;
   for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m)
     for (Rank r : ranks_by_metahost_[m]) files.emplace_back(m, r);
-  const auto pst =
-      parallel_for(files.size(), max_workers, [&](std::size_t i) {
+  telemetry::RecordingObserver rec_obs(
+      "archive_read",
+      telemetry::RecordingObserver::fanout_stride(files.size()));
+  const auto pst = parallel_for(
+      files.size(), max_workers,
+      [&](std::size_t i) {
         const auto [m, r] = files[i];
         tc.ranks[static_cast<std::size_t>(r)] = tracing::decode_local_trace(
             read_file_bytes(dir_by_metahost_[m] + "/" +
                             tracing::trace_filename(r)));
         MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
                   "trace file rank mismatch");
-      });
+      },
+      &rec_obs);
   telemetry::record_stage_parallelism("archive_read", pst);
   return tc;
 }

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 #include "tracing/matching.hpp"
 
@@ -35,8 +36,12 @@ std::size_t repair_pass(tracing::TraceCollection& tc,
   // so report numbers match the old serial loop exactly.
   std::vector<std::size_t> repaired_by_rank(tc.ranks.size(), 0);
   std::vector<double> max_shift_by_rank(tc.ranks.size(), 0.0);
-  const auto pst =
-      parallel_for(tc.ranks.size(), cfg.max_workers, [&](std::size_t ti) {
+  telemetry::RecordingObserver rec_obs(
+      "amortize",
+      telemetry::RecordingObserver::fanout_stride(tc.ranks.size()));
+  const auto pst = parallel_for(
+      tc.ranks.size(), cfg.max_workers,
+      [&](std::size_t ti) {
         auto& trace = tc.ranks[ti];
         const auto& req = required[static_cast<std::size_t>(trace.rank)];
         double shift = 0.0;   // magnitude of the active amortization
@@ -63,7 +68,8 @@ std::size_t repair_pass(tracing::TraceCollection& tc,
           }
           e.time = original + active;
         }
-      });
+      },
+      &rec_obs);
   telemetry::record_stage_parallelism("amortize", pst);
   std::size_t repaired = 0;
   for (std::size_t r = 0; r < tc.ranks.size(); ++r) {

@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace metascope::clocksync {
@@ -116,12 +117,17 @@ void apply_corrections(tracing::TraceCollection& tc,
             "one correction per rank required");
   MSC_CHECK(!tc.synchronized, "collection already synchronized");
   // One task per rank: each rewrites only its own trace's timestamps.
-  const auto pst =
-      parallel_for(tc.ranks.size(), max_workers, [&](std::size_t i) {
+  telemetry::RecordingObserver rec_obs(
+      "sync_apply",
+      telemetry::RecordingObserver::fanout_stride(tc.ranks.size()));
+  const auto pst = parallel_for(
+      tc.ranks.size(), max_workers,
+      [&](std::size_t i) {
         auto& t = tc.ranks[i];
         const auto& c = corrections[static_cast<std::size_t>(t.rank)];
         for (auto& e : t.events) e.time = c.apply(e.time);
-      });
+      },
+      &rec_obs);
   telemetry::record_stage_parallelism("sync_apply", pst);
   tc.synchronized = true;
 }

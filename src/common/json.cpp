@@ -1,7 +1,10 @@
 #include "common/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -430,11 +433,41 @@ Json load_json_file(const std::string& path) {
   return Json::parse(ss.str());
 }
 
+namespace {
+
+/// Creates `path`'s parent directories if absent. Failure is reported
+/// by the subsequent open, which has the errno worth showing.
+void create_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+}
+
+[[noreturn]] void throw_open_error(const char* what, const std::string& path,
+                                   int err) {
+  std::string msg = std::string(what) + ": " + path;
+  if (err != 0) msg += " (" + std::string(std::strerror(err)) + ")";
+  throw Error(msg);
+}
+
+}  // namespace
+
 void save_json_file(const std::string& path, const Json& v) {
+  create_parent_dirs(path);
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot write json file: " + path);
+  if (!out) throw_open_error("cannot write json file", path, errno);
   out << v.dump(2) << '\n';
   if (!out) throw Error("write failed: " + path);
+}
+
+void ensure_writable_file(const std::string& path) {
+  create_parent_dirs(path);
+  errno = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw_open_error("cannot write output file", path, errno);
 }
 
 }  // namespace metascope

@@ -83,7 +83,16 @@ class Json {
 /// Reads and parses a JSON file; throws Error on I/O or parse failure.
 Json load_json_file(const std::string& path);
 
-/// Writes `v` to `path` (pretty-printed); throws Error on I/O failure.
+/// Writes `v` to `path` (pretty-printed), creating missing parent
+/// directories first. Throws Error naming the path and the OS reason
+/// (strerror) on failure.
 void save_json_file(const std::string& path, const Json& v);
+
+/// Verifies `path` can be opened for writing — creates missing parent
+/// directories, opens the file in append mode (contents untouched), and
+/// throws Error (path + OS reason) if that fails. CLI front-ends call
+/// this on --metrics/--trace-out before running the pipeline, so a bad
+/// output path fails in milliseconds instead of after the analysis.
+void ensure_writable_file(const std::string& path);
 
 }  // namespace metascope

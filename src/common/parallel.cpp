@@ -101,6 +101,7 @@ bool WorkerPool::steal(std::size_t wid, std::size_t& task) {
     task = victim.dq.back();
     victim.dq.pop_back();
     tls_tally.steals += 1;
+    if (events_) obs_->on_task_steal(task);
     return true;
   }
   return false;
@@ -116,6 +117,7 @@ void WorkerPool::fail(std::exception_ptr err) {
 }
 
 void WorkerPool::resume(std::size_t task) {
+  if (events_) obs_->on_task_resume(task);
   for (;;) {
     int s = state_[task].load();
     if (s == kParked) {
@@ -142,6 +144,7 @@ void WorkerPool::run_task(std::size_t task, const StepFn& step) {
   const bool timed = sample_ && sample_tick();
   const auto t0 = timed ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point{};
+  if (events_) obs_->on_task_begin(task);
   StepOutcome r;
   try {
     r = step(task);
@@ -155,6 +158,7 @@ void WorkerPool::run_task(std::size_t task, const StepFn& step) {
                           .count();
     obs_->on_task_runtime_us(us);
   }
+  if (events_) obs_->on_task_end(task, r == StepOutcome::Suspend);
   if (r == StepOutcome::Done) {
     tasks_by_worker_[tls_worker] += 1;
     const std::size_t done = done_.fetch_add(1) + 1;
@@ -189,6 +193,7 @@ void WorkerPool::flush_tally() {
 
 void WorkerPool::worker_loop(std::size_t wid, const StepFn& step) {
   tls_worker = wid;
+  if (events_) obs_->on_worker_attach(wid);
   // Flush the thread's tally on every exit path of the loop.
   struct Flusher {
     WorkerPool* p;
@@ -224,6 +229,7 @@ void WorkerPool::worker_loop(std::size_t wid, const StepFn& step) {
 void WorkerPool::run(const StepFn& step) {
   if (num_tasks_ == 0) return;
   sample_ = obs_ != nullptr && obs_->wants_samples();
+  events_ = obs_ != nullptr && obs_->wants_events();
   inflight_.store(num_tasks_);
   for (std::size_t t = 0; t < num_tasks_; ++t) push(t % num_workers_, t);
 
@@ -244,18 +250,27 @@ void WorkerPool::run(const StepFn& step) {
 }
 
 ParallelForStats parallel_for(std::size_t n, std::size_t max_workers,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              WorkerPool::Observer* obs) {
   ParallelForStats st;
   st.items = n;
   if (n == 0) return st;
   const std::size_t workers = WorkerPool::resolve_workers(n, max_workers);
   if (workers <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // Inline path fires the item events on the calling thread (no
+    // worker attach — the caller keeps its own thread label).
+    const bool events = obs != nullptr && obs->wants_events();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (events) obs->on_task_begin(i);
+      body(i);
+      if (events) obs->on_task_end(i, false);
+    }
     st.workers = 1;
     st.items_per_worker.assign(1, n);
     return st;
   }
   WorkerPool pool(n, workers);
+  pool.set_observer(obs);
   pool.run([&body](std::size_t i) {
     body(i);
     return StepOutcome::Done;

@@ -91,6 +91,12 @@ class WorkerPool {
     /// True if the pool should pay for the sampled timing hooks
     /// (on_task_runtime_us / on_queue_depth); consulted once per run().
     [[nodiscard]] virtual bool wants_samples() const { return false; }
+    /// True if the pool should fire the per-event lifecycle hooks below
+    /// (worker attach, task begin/end/resume/steal); consulted once per
+    /// run(). This is the seam the telemetry flight recorder plugs into
+    /// (telemetry::RecordingObserver) — off by default, so pools pay
+    /// nothing unless a recording is requested.
+    [[nodiscard]] virtual bool wants_events() const { return false; }
     /// Called on every task completion with the running done count.
     virtual void on_task_done(std::size_t done, std::size_t total) {
       (void)done;
@@ -100,6 +106,26 @@ class WorkerPool {
     virtual void on_task_runtime_us(double us) { (void)us; }
     /// One-in-16 sampled run-queue depth after a push.
     virtual void on_queue_depth(double depth) { (void)depth; }
+
+    // Lifecycle hooks, fired only when wants_events() — every call
+    // arrives on the thread the event happened on, which is what lets
+    // an observer keep per-thread timelines.
+    /// Once per spawned worker thread, before it runs any task. Not
+    /// fired for the inline (single-worker) parallel_for path, which
+    /// stays on the caller's thread.
+    virtual void on_worker_attach(std::size_t wid) { (void)wid; }
+    /// A worker starts driving `task` (first run or after a resume).
+    virtual void on_task_begin(std::size_t task) { (void)task; }
+    /// The step returned; `suspended` distinguishes Suspend from Done.
+    /// Not fired when the step threw (the pool is tearing down).
+    virtual void on_task_end(std::size_t task, bool suspended) {
+      (void)task;
+      (void)suspended;
+    }
+    /// This thread marked suspended `task` runnable again.
+    virtual void on_task_resume(std::size_t task) { (void)task; }
+    /// This thread stole `task` from another worker's deque.
+    virtual void on_task_steal(std::size_t task) { (void)task; }
   };
 
   /// `max_workers` == 0 selects std::thread::hardware_concurrency();
@@ -167,6 +193,7 @@ class WorkerPool {
 
   Observer* obs_{nullptr};
   bool sample_{false};  ///< obs_ wants the sampled hooks (fixed per run)
+  bool events_{false};  ///< obs_ wants the lifecycle hooks (fixed per run)
 
   // Per-thread tallies flush into these under tally_m_ when a worker
   // exits; stats_ is assembled after the join, so reads are race-free.
@@ -194,7 +221,14 @@ struct ParallelForStats {
 /// for distinct items must be independent (the usual use is one item
 /// per rank writing its own slot), which is what makes results
 /// deterministic for every worker count.
+///
+/// `obs` (optional, never owned) receives the pool's observer hooks;
+/// stages pass a telemetry::RecordingObserver so their per-item fan-out
+/// shows up on the flight-recorder timeline. The inline path fires the
+/// task begin/end hooks on the calling thread (without worker attach),
+/// so single-worker runs record the same per-item events.
 ParallelForStats parallel_for(std::size_t n, std::size_t max_workers,
-                              const std::function<void(std::size_t)>& body);
+                              const std::function<void(std::size_t)>& body,
+                              WorkerPool::Observer* obs = nullptr);
 
 }  // namespace metascope

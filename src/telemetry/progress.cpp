@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "telemetry/recorder.hpp"
+
 namespace metascope::telemetry {
 
 namespace {
@@ -45,6 +47,11 @@ void progress(const char* stage, double fraction) {
                                             std::memory_order_relaxed) &&
       !boundary)
     return;
+  // Accepted progress lines double as phase marks on the flight
+  // recorder's timeline (id = percent); stage names are literals at
+  // every call site, as the recorder requires.
+  record_event(TraceEventKind::Mark, stage,
+               static_cast<std::uint32_t>(fraction * 100.0));
   std::fprintf(stderr, "[msc %3.0f%%] %s\n", fraction * 100.0, stage);
 }
 

@@ -1,0 +1,131 @@
+#include "telemetry/sampler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace metascope::telemetry {
+
+namespace {
+
+/// 2^16 samples ≈ 18 hours at 1 s intervals, or 65 s at 1 ms — far
+/// beyond any pipeline run this analyzer drives; the cap is a safety
+/// net, not a budget.
+constexpr std::size_t kMaxSamples = 1 << 16;
+
+struct SamplerState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running{false};
+  bool stop{false};
+  int interval_ms{0};
+  bool truncated{false};
+  bool ever_ran{false};
+  std::vector<Json> samples;
+};
+
+SamplerState& state() {
+  static SamplerState* s = new SamplerState;
+  return *s;
+}
+
+Json take_sample(std::chrono::steady_clock::time_point t0) {
+  const double t_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Reuses the registry's snapshot path: counters/dcounters/gauges are
+  // cheap merges; histograms are omitted (their buckets would dominate
+  // the series without adding time resolution beyond the counters).
+  Json all = Registry::instance().to_json();
+  Json row{Json::Object{}};
+  row.set("t_s", t_s);
+  row.set("counters", all.at("counters"));
+  row.set("dcounters", all.at("dcounters"));
+  row.set("gauges", all.at("gauges"));
+  return row;
+}
+
+void sampler_loop(std::chrono::steady_clock::time_point t0) {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.m);
+  for (;;) {
+    s.cv.wait_for(lock, std::chrono::milliseconds(s.interval_ms),
+                  [&] { return s.stop; });
+    if (s.stop) return;
+    if (s.samples.size() >= kMaxSamples) {
+      s.truncated = true;
+      continue;  // keep the thread parked until stop; drop new samples
+    }
+    lock.unlock();
+    Json row = take_sample(t0);  // registry reads happen unlocked
+    lock.lock();
+    if (s.samples.size() < kMaxSamples) s.samples.push_back(std::move(row));
+  }
+}
+
+}  // namespace
+
+void start_sampler(int interval_ms) {
+  if (interval_ms <= 0) return;
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.m);
+  if (s.running) return;
+  s.samples.clear();
+  s.truncated = false;
+  s.stop = false;
+  s.running = true;
+  s.ever_ran = true;
+  s.interval_ms = interval_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  s.thread = std::thread([t0] { sampler_loop(t0); });
+}
+
+void stop_sampler() {
+  SamplerState& s = state();
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    if (!s.running) return;
+    s.stop = true;
+    s.running = false;
+    t = std::move(s.thread);
+  }
+  s.cv.notify_all();
+  if (t.joinable()) t.join();
+}
+
+bool sampler_running() {
+  SamplerState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  return s.running;
+}
+
+Json sampler_json() {
+  SamplerState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (!s.ever_ran) return Json();
+  Json rows{Json::Array{}};
+  for (const Json& r : s.samples) rows.push_back(r);
+  Json out{Json::Object{}};
+  out.set("interval_ms", s.interval_ms);
+  out.set("truncated", s.truncated);
+  out.set("samples", std::move(rows));
+  return out;
+}
+
+void clear_samples() {
+  stop_sampler();
+  SamplerState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.samples.clear();
+  s.truncated = false;
+  s.ever_ran = false;
+}
+
+}  // namespace metascope::telemetry

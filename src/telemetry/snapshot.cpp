@@ -1,13 +1,43 @@
 #include "telemetry/snapshot.hpp"
 
+#include <mutex>
+#include <utility>
+
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/span.hpp"
 
 namespace metascope::telemetry {
 
+namespace {
+
+std::mutex g_run_m;
+Json& run_metadata_slot() {
+  static Json* meta = new Json;
+  return *meta;
+}
+
+}  // namespace
+
+void set_run_metadata(Json meta) {
+  std::lock_guard<std::mutex> lock(g_run_m);
+  run_metadata_slot() = std::move(meta);
+}
+
+Json run_metadata_json() {
+  std::lock_guard<std::mutex> lock(g_run_m);
+  return run_metadata_slot();
+}
+
 Json snapshot_json() {
   Json out = Registry::instance().to_json();
+  out.set("schema_version", kSnapshotSchemaVersion);
   out.set("spans", span_tree_json());
+  Json run = run_metadata_json();
+  if (!run.is_null()) out.set("run", std::move(run));
+  Json series = sampler_json();
+  if (!series.is_null()) out.set("timeseries", std::move(series));
   return out;
 }
 
@@ -18,6 +48,9 @@ void save_snapshot(const std::string& path) {
 void reset() {
   Registry::instance().reset();
   reset_spans();
+  clear_samples();
+  set_run_metadata(Json());
+  Recorder::instance().reset();
 }
 
 }  // namespace metascope::telemetry

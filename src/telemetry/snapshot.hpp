@@ -1,6 +1,14 @@
-// Whole-telemetry snapshot: metrics registry + span tree in one JSON
-// document, and the reset that zeroes both. This is what `msc_run
-// --metrics out.json` writes and what the bench sidecars embed.
+// Whole-telemetry snapshot: metrics registry + span tree (+ run
+// metadata and, when the sampler ran, the time-resolved series) in one
+// JSON document, and the reset that zeroes all of it. This is what
+// `msc_run --metrics out.json` writes and what the bench sidecars
+// embed.
+//
+// The document is versioned: "schema_version" bumps whenever the
+// snapshot's shape changes incompatibly, so downstream tooling can
+// evolve safely. History — 1: counters/dcounters/gauges/histograms/
+// spans (PR 2-6, implicit); 2: adds schema_version itself, the "run"
+// metadata object, and the optional "timeseries" section.
 #pragma once
 
 #include <string>
@@ -9,16 +17,32 @@
 
 namespace metascope::telemetry {
 
-/// {"counters": {...}, "gauges": {...}, "histograms": {...},
-///  "spans": {...}}
+/// Current snapshot schema version (see header comment for history).
+constexpr int kSnapshotSchemaVersion = 2;
+
+/// {"schema_version": 2, "counters": {...}, "dcounters": {...},
+///  "gauges": {...}, "histograms": {...}, "spans": {...},
+///  "run": {...} (when set_run_metadata was called),
+///  "timeseries": {...} (when the sampler ran)}
 Json snapshot_json();
 
-/// Writes the snapshot to `path` (pretty-printed); throws Error on I/O
-/// failure.
+/// Attaches run metadata (workload name, seed, rank count, worker
+/// count, ...) to every subsequent snapshot as its "run" object. Pass
+/// any JSON object; `msc_run` sets {"workload", "seed", "ranks",
+/// "workers"}. A null value removes the section.
+void set_run_metadata(Json meta);
+
+/// The currently attached run metadata (null if none).
+[[nodiscard]] Json run_metadata_json();
+
+/// Writes the snapshot to `path` (pretty-printed), creating missing
+/// parent directories; throws Error (path + errno detail) on
+/// unwritable output.
 void save_snapshot(const std::string& path);
 
-/// Zeroes every metric and drops all spans. Registrations survive, so
-/// cached handles stay valid.
+/// Zeroes every metric, drops all spans, clears the sampler's series
+/// and the run metadata, and retires the flight recorder's rings.
+/// Registrations survive, so cached handles stay valid.
 void reset();
 
 }  // namespace metascope::telemetry

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace metascope::telemetry {
 
@@ -49,6 +50,11 @@ Json node_children_json(const SpanNode& node) {
 
 ScopedSpan::ScopedSpan(const char* name) {
   if (!enabled()) return;
+  name_ = name;
+  // Spans double as the flight recorder's pipeline-phase track: the
+  // begin/end land on the opening thread's ring (span names are string
+  // literals, which is what the recorder requires).
+  record_event(TraceEventKind::SpanBegin, name);
   std::lock_guard<std::mutex> lock(detail::g_m);
   parent_ = detail::tls_current;
   detail::SpanNode* attach = parent_ ? parent_ : detail::g_root;
@@ -61,6 +67,7 @@ ScopedSpan::ScopedSpan(const char* name) {
 
 ScopedSpan::~ScopedSpan() {
   if (!node_) return;
+  record_event(TraceEventKind::SpanEnd, name_);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_)

@@ -32,6 +32,7 @@ class ScopedSpan {
  private:
   detail::SpanNode* node_{nullptr};  ///< null when recording is disabled
   detail::SpanNode* parent_{nullptr};  ///< thread's previous open span
+  const char* name_{nullptr};  ///< for the flight-recorder end event
   std::chrono::steady_clock::time_point start_;
 };
 

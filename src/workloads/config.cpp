@@ -173,6 +173,15 @@ ExperimentSpec parse_experiment(const Json& doc) {
       for (const auto& p : a.at("patterns").as_array())
         spec.patterns.push_back(p.as_string());
   }
+  if (doc.has("telemetry")) {
+    const Json& t = doc.at("telemetry");
+    spec.telemetry.trace_out = t.string_or("trace_out", "");
+    spec.telemetry.sample_interval_ms =
+        static_cast<int>(t.int_or("sample_interval_ms", 0));
+    const std::int64_t cap = t.int_or("ring_capacity", 0);
+    MSC_CHECK(cap >= 0, "config: telemetry.ring_capacity must be >= 0");
+    spec.telemetry.ring_capacity = static_cast<std::size_t>(cap);
+  }
   return spec;
 }
 

@@ -20,12 +20,18 @@
 //                 ... kind-specific knobs ... },
 //   "clocks": { "perfect": false, "max_offset_s": 0.5, "max_drift": 1e-5 },
 //   "sync": "hierarchical-two" | "flat-two" | "flat-single" | "none",
-//   "analysis": { "patterns": ["late_sender", "wait_barrier", ...] }
+//   "analysis": { "patterns": ["late_sender", "wait_barrier", ...] },
+//   "telemetry": { "trace_out": "trace.json", "sample_interval_ms": 50,
+//                  "ring_capacity": 8192 }
 // }
 //
 // "analysis.patterns" restricts the pattern engine to the named
 // detector keys (see `msc_run --list-patterns`); omitted or empty means
 // every built-in pattern runs.
+//
+// "telemetry" configures the flight recorder and sampler the same way
+// the msc_run flags do (--trace-out / --sample-interval-ms override the
+// config values).
 #pragma once
 
 #include <string>
@@ -38,6 +44,17 @@
 
 namespace metascope::workloads {
 
+/// Flight-recorder / sampler settings from the config's "telemetry"
+/// section. Defaults mean "off": no trace written, no sampling.
+struct TelemetrySpec {
+  /// Chrome Trace Event JSON output path; empty = recorder off.
+  std::string trace_out;
+  /// Metrics time-series sampling period; <= 0 = sampler off.
+  int sample_interval_ms{0};
+  /// Per-thread recorder ring capacity in events; 0 = default.
+  std::size_t ring_capacity{0};
+};
+
 struct ExperimentSpec {
   std::string name;
   simnet::Topology topology;
@@ -46,6 +63,7 @@ struct ExperimentSpec {
   /// Pattern-detector keys to enable (empty = all), fed to
   /// analysis::ReplayOptions::patterns.
   std::vector<std::string> patterns;
+  TelemetrySpec telemetry;
 };
 
 /// Parses a complete experiment spec; throws Error with a field-level

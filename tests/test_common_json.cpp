@@ -124,5 +124,45 @@ TEST(Json, MissingFileThrows) {
   EXPECT_THROW(load_json_file("/nonexistent/dir/x.json"), Error);
 }
 
+TEST(Json, SaveCreatesMissingParentDirectories) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    "msc_json_mkdir_test";
+  std::filesystem::remove_all(root);
+  const std::string path = (root / "a" / "b" / "out.json").string();
+  Json v;
+  v.set("x", 1);
+  save_json_file(path, v);
+  EXPECT_TRUE(load_json_file(path) == v);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Json, UnwritablePathThrowsWithPathAndReason) {
+  // /proc/version exists and is not a directory, so nothing under it
+  // can be created or opened for writing.
+  const std::string path = "/proc/version/x/out.json";
+  try {
+    save_json_file(path, Json{Json::Object{}});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find('('), std::string::npos)
+        << "missing OS reason: " << what;
+  }
+  EXPECT_THROW(ensure_writable_file(path), Error);
+}
+
+TEST(Json, EnsureWritableLeavesExistingContentsAlone) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_json_keep.json")
+          .string();
+  Json v;
+  v.set("keep", true);
+  save_json_file(path, v);
+  ensure_writable_file(path);  // append-mode probe: must not truncate
+  EXPECT_TRUE(load_json_file(path) == v);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace metascope

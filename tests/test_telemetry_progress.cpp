@@ -1,0 +1,151 @@
+// Progress reporter + leveled logging: the rate-limit window (boundary
+// fractions always print, mid-window updates are dropped, the window
+// reopens after 100 ms), the off-by-default contract, byte-stability of
+// progress output against the telemetry enable switch, --log-level
+// parsing, and MSC_LOG threshold filtering.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace metascope::telemetry {
+namespace {
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+    set_progress_enabled(false);
+  }
+  void TearDown() override {
+    set_progress_enabled(false);
+    set_log_level(LogLevel::Warn);
+  }
+
+  /// Runs `body` with progress enabled and returns what it wrote to
+  /// stderr.
+  template <typename F>
+  static std::string captured(F&& body) {
+    set_progress_enabled(true);
+    ::testing::internal::CaptureStderr();
+    body();
+    set_progress_enabled(false);
+    return ::testing::internal::GetCapturedStderr();
+  }
+};
+
+TEST_F(ProgressTest, DisabledEmitsNothing) {
+  ::testing::internal::CaptureStderr();
+  progress("quiet", 0.0);
+  progress("quiet", 0.5);
+  progress("quiet", 1.0);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(ProgressTest, BoundariesAlwaysPrintMidWindowUpdatesDrop) {
+  const std::string out = captured([] {
+    progress("stage", 0.0);  // entry boundary: always prints
+    progress("stage", 0.3);  // < 100 ms after the boundary: dropped
+    progress("stage", 0.6);  // likewise
+    progress("stage", 1.0);  // completion boundary: always prints
+  });
+  EXPECT_EQ(out,
+            "[msc   0%] stage\n"
+            "[msc 100%] stage\n");
+}
+
+TEST_F(ProgressTest, WindowReopensAfterMinGap) {
+  const std::string out = captured([] {
+    progress("slow", 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    progress("slow", 0.5);  // window elapsed: accepted
+    progress("slow", 0.7);  // back inside the window: dropped
+  });
+  EXPECT_EQ(out,
+            "[msc   0%] slow\n"
+            "[msc  50%] slow\n");
+}
+
+TEST_F(ProgressTest, FractionIsClamped) {
+  const std::string out = captured([] {
+    progress("clamp", -0.5);  // clamps to 0.0 — an entry boundary
+    progress("clamp", 1.5);   // clamps to 1.0 — a completion boundary
+  });
+  EXPECT_EQ(out,
+            "[msc   0%] clamp\n"
+            "[msc 100%] clamp\n");
+}
+
+// Progress output is a user-facing signal, independent of the metrics
+// enable switch: disabling telemetry must not change a single byte.
+TEST_F(ProgressTest, OutputBytesUnchangedWhenTelemetryDisabled) {
+  const std::string with_telemetry = captured([] {
+    progress("stable", 0.0);
+    progress("stable", 1.0);
+  });
+  set_enabled(false);
+  const std::string without_telemetry = captured([] {
+    progress("stable", 0.0);
+    progress("stable", 1.0);
+  });
+  set_enabled(true);
+  EXPECT_EQ(with_telemetry, without_telemetry);
+  EXPECT_EQ(with_telemetry,
+            "[msc   0%] stable\n"
+            "[msc 100%] stable\n");
+}
+
+// --- leveled logging ---------------------------------------------------
+
+TEST_F(ProgressTest, ParseLogLevelAcceptsKnownNamesOnly) {
+  LogLevel lv = LogLevel::Off;
+  EXPECT_TRUE(parse_log_level("debug", lv));
+  EXPECT_EQ(lv, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("info", lv));
+  EXPECT_EQ(lv, LogLevel::Info);
+  EXPECT_TRUE(parse_log_level("warn", lv));
+  EXPECT_EQ(lv, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("error", lv));
+  EXPECT_EQ(lv, LogLevel::Error);
+  EXPECT_TRUE(parse_log_level("off", lv));
+  EXPECT_EQ(lv, LogLevel::Off);
+
+  lv = LogLevel::Warn;
+  EXPECT_FALSE(parse_log_level("verbose", lv));
+  EXPECT_EQ(lv, LogLevel::Warn);  // untouched on failure
+  EXPECT_FALSE(parse_log_level("", lv));
+  EXPECT_FALSE(parse_log_level("Debug", lv));  // case-sensitive
+}
+
+TEST_F(ProgressTest, LogThresholdFiltersBelowLevel) {
+  set_log_level(LogLevel::Warn);
+  ::testing::internal::CaptureStderr();
+  MSC_DEBUG("dropped debug");
+  MSC_INFO("dropped info");
+  MSC_WARN("kept warn");
+  MSC_ERROR("kept error");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("WARN] kept warn"), std::string::npos);
+  EXPECT_NE(out.find("ERROR] kept error"), std::string::npos);
+}
+
+TEST_F(ProgressTest, LogLevelOffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  MSC_DEBUG("a");
+  MSC_INFO("b");
+  MSC_WARN("c");
+  MSC_ERROR("d");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace metascope::telemetry

@@ -159,6 +159,29 @@ TEST(Config, UnknownWorkloadKindRejected) {
                Error);
 }
 
+TEST(Config, TelemetrySection) {
+  const auto spec = parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "late-sender"},
+    "telemetry": {"trace_out": "trace.json", "sample_interval_ms": 25,
+                  "ring_capacity": 512}})"));
+  EXPECT_EQ(spec.telemetry.trace_out, "trace.json");
+  EXPECT_EQ(spec.telemetry.sample_interval_ms, 25);
+  EXPECT_EQ(spec.telemetry.ring_capacity, 512u);
+  // Omitted section: recorder and sampler stay off, default ring.
+  const auto off = parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "late-sender"}})"));
+  EXPECT_TRUE(off.telemetry.trace_out.empty());
+  EXPECT_EQ(off.telemetry.sample_interval_ms, 0);
+  EXPECT_EQ(off.telemetry.ring_capacity, 0u);
+  EXPECT_THROW(parse_experiment(Json::parse(R"({
+    "topology": {"preset": "ibm-power", "procs": 2},
+    "workload": {"kind": "pattern-demo", "pattern": "late-sender"},
+    "telemetry": {"ring_capacity": -1}})")),
+               Error);
+}
+
 TEST(Config, MetatraceRankMismatchRejected) {
   EXPECT_THROW(parse_experiment(Json::parse(R"({
     "topology": {"preset": "ibm-power", "procs": 8},

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Structurally validate a Chrome Trace Event JSON file.
+
+Checks the invariants the exporter (src/telemetry/trace_export.cpp)
+guarantees by construction, so CI catches any regression that would
+break loading the trace in Perfetto / chrome://tracing:
+
+  * the document is an object with a "traceEvents" array;
+  * every "B" (duration begin) on a thread track is closed by a
+    matching "E" — balanced and properly nested per tid;
+  * timestamps never decrease within one thread track (metadata "M"
+    events carry no timestamp and are skipped);
+  * "otherData" carries the recorder's explicit drop accounting
+    (ring_capacity, dropped_events, emitted_events).
+
+Usage: validate_chrome_trace.py trace.json [--min-events N]
+Exits 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(doc, min_events):
+    if not isinstance(doc, dict):
+        return "top-level value is not an object"
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return "missing traceEvents array"
+
+    depth = {}
+    last_ts = {}
+    emitted = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        emitted += 1
+        if ph not in ("B", "E", "i"):
+            return f"event {i}: unexpected phase {ph!r}"
+        tid = e.get("tid")
+        ts = e.get("ts")
+        if tid is None or ts is None:
+            return f"event {i}: missing tid or ts"
+        if tid in last_ts and ts < last_ts[tid]:
+            return (f"event {i}: ts {ts} < previous {last_ts[tid]} "
+                    f"on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            if depth.get(tid, 0) == 0:
+                return f"event {i}: E without open B on tid {tid}"
+            depth[tid] -= 1
+    for tid, d in depth.items():
+        if d != 0:
+            return f"tid {tid}: {d} unclosed B event(s)"
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        return "missing otherData"
+    for key in ("ring_capacity", "dropped_events", "emitted_events"):
+        if key not in other:
+            return f"otherData missing {key!r}"
+    if other["emitted_events"] != emitted:
+        return (f"otherData.emitted_events {other['emitted_events']} != "
+                f"{emitted} counted")
+    if emitted < min_events:
+        return f"only {emitted} events (expected >= {min_events})"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome Trace Event JSON file")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail if fewer non-metadata events (default 1)")
+    args = ap.parse_args()
+
+    with open(args.trace, encoding="utf-8") as f:
+        doc = json.load(f)
+    problem = validate(doc, args.min_events)
+    if problem:
+        print(f"{args.trace}: INVALID: {problem}", file=sys.stderr)
+        return 1
+    tracks = sum(1 for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "thread_name")
+    print(f"{args.trace}: ok — {doc['otherData']['emitted_events']} events "
+          f"on {tracks} thread track(s), "
+          f"dropped {sum(doc['otherData']['dropped_events'].values())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
