@@ -17,7 +17,11 @@ simnet::Topology scaled_topo(int procs_per_metahost) {
   simnet::Topology topo;
   for (int m = 0; m < 3; ++m) {
     simnet::MetahostSpec spec;
-    spec.name = "M" + std::to_string(m);
+    // snprintf instead of operator+: gcc 12 raises a spurious -Wrestrict
+    // on the inlined string concatenation here.
+    char name[16];
+    std::snprintf(name, sizeof name, "M%d", m);
+    spec.name = name;
     spec.num_nodes = procs_per_metahost;
     spec.cpus_per_node = 1;
     spec.internal = simnet::LinkSpec{20e-6, 0.0, 1e9};

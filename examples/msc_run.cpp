@@ -6,7 +6,18 @@
 //           [--timeline] [--metrics out.json] [--progress]
 //           [--trace-out trace.json] [--sample-interval-ms n]
 //           [--patterns key[,key...]] [--list-patterns]
+//           [--archive-dir dir] [--permissive]
 //           [--log-level {debug,info,warn,error,off}]
+//
+// --archive-dir routes the traces through the on-disk archive layer:
+// the measured traces are written into a trace archive under the given
+// directory and read back through the hardened ingestion path before
+// analysis (so the analyzed data went through the same decode layer a
+// post-mortem run would use). --permissive switches that read into
+// permissive-recovery mode: undecodable ranks are quarantined and
+// reported instead of aborting the run (see DESIGN.md "Ingestion
+// hardening"). --permissive without --archive-dir is accepted and has
+// no effect (in-memory traces never need decoding).
 //
 // --metrics writes the full telemetry snapshot (pipeline-stage spans,
 // counters, histograms, run metadata, and — when the sampler ran — the
@@ -38,6 +49,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/pattern_engine.hpp"
+#include "archive/archive.hpp"
 #include "clocksync/amortization.hpp"
 #include "clocksync/clock_condition.hpp"
 #include "clocksync/correction.hpp"
@@ -112,6 +124,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = not given on the CLI
+  std::string archive_dir;
+  bool permissive = false;
   bool want_profile = false;
   bool want_amortize = false;
   bool want_timeline = false;
@@ -152,6 +166,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       set_log_level(level);
+    } else if (std::strcmp(argv[i], "--archive-dir") == 0 && i + 1 < argc) {
+      archive_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--archive-dir=", 14) == 0) {
+      archive_dir = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--permissive") == 0) {
+      permissive = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       telemetry::set_progress_enabled(true);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
@@ -211,6 +231,42 @@ int main(int argc, char** argv) {
     std::printf("run complete: %.3f s virtual, %zu events, %llu messages\n\n",
                 data.exec.end_time.s, data.traces.total_events(),
                 static_cast<unsigned long long>(data.exec.stats.messages));
+
+    if (!archive_dir.empty()) {
+      // Round-trip through the on-disk archive so the analyzed traces
+      // pass through the hardened decode layer (and, with --permissive,
+      // its quarantine-and-proceed recovery).
+      const auto layout = archive::FileSystemLayout::shared(
+          archive_dir, spec.topology.num_metahosts());
+      const auto arch =
+          archive::ExperimentArchive::create(spec.topology, layout, spec.name);
+      arch.write_traces(spec.topology, data.traces);
+      archive::ReadOptions ropts;
+      ropts.permissive = permissive;
+      archive::ReadReport rep;
+      data.traces = arch.read_traces(ropts, &rep);
+      std::printf("archive round-trip via %s (%s mode)\n", archive_dir.c_str(),
+                  permissive ? "permissive" : "strict");
+      if (rep.quarantined.empty()) {
+        std::printf("all %d ranks decoded cleanly\n\n",
+                    spec.topology.num_ranks());
+      } else {
+        std::printf("quarantined %zu rank(s), pruned %zu event(s):\n",
+                    rep.quarantined.size(), rep.events_pruned);
+        for (const auto& q : rep.quarantined)
+          std::printf("  rank %d: [%s] %s (%s)\n", q.rank,
+                      to_string(q.code), q.reason.c_str(), q.path.c_str());
+        std::printf("\n");
+        Json qmeta{Json::Object{}};
+        Json qranks{Json::Array{}};
+        for (const auto& q : rep.quarantined)
+          qranks.push_back(Json(static_cast<std::int64_t>(q.rank)));
+        qmeta.set("quarantined_ranks", std::move(qranks));
+        qmeta.set("events_pruned",
+                  static_cast<std::int64_t>(rep.events_pruned));
+        telemetry::merge_run_metadata("ingestion", std::move(qmeta));
+      }
+    }
 
     if (spec.config.measurement.scheme != tracing::SyncScheme::None) {
       clocksync::synchronize(data.traces);

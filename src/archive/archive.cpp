@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <mutex>
 #include <utility>
 
 #include "common/binary_io.hpp"
@@ -249,46 +250,121 @@ void ExperimentArchive::write_traces(const simnet::Topology& topo,
   }
 }
 
+std::vector<Rank> ReadReport::quarantined_ranks() const {
+  std::vector<Rank> out;
+  out.reserve(quarantined.size());
+  for (const auto& q : quarantined) out.push_back(q.rank);
+  return out;
+}
+
 tracing::TraceCollection ExperimentArchive::read_traces(
-    std::size_t max_workers) const {
+    const ReadOptions& opts, ReadReport* report) const {
   MSC_CHECK(!dir_by_metahost_.empty(), "empty archive");
   telemetry::ScopedSpan span("archive_read");
-  tracing::TraceCollection tc = tracing::decode_defs(
-      read_file_bytes(dir_by_metahost_.front() + "/" +
-                      tracing::defs_filename()));
+  if (report) *report = ReadReport{};
+
+  // Definitions are replicated into every partial archive; in permissive
+  // mode a corrupt copy just means trying the next replica.
+  tracing::TraceCollection tc;
+  {
+    const auto dirs = partial_dirs();
+    bool have_defs = false;
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      const std::string path = dirs[i] + "/" + tracing::defs_filename();
+      try {
+        tc = tracing::decode_defs(read_file_bytes(path), path);
+        have_defs = true;
+        break;
+      } catch (const Error&) {
+        if (!opts.permissive || i + 1 == dirs.size()) throw;
+      }
+    }
+    MSC_ASSERT(have_defs, "defs decode fell through");
+  }
+
   // Flatten (metahost, rank) so each task reads + decodes one file into
   // its own rank slot.
   std::vector<std::pair<std::size_t, Rank>> files;
   for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m)
     for (Rank r : ranks_by_metahost_[m]) files.emplace_back(m, r);
+
+  std::mutex quarantine_mu;
+  std::vector<QuarantineRecord> quarantined;
   telemetry::RecordingObserver rec_obs(
       "archive_read",
       telemetry::RecordingObserver::fanout_stride(files.size()));
   const auto pst = parallel_for(
-      files.size(), max_workers,
+      files.size(), opts.max_workers,
       [&](std::size_t i) {
         const auto [m, r] = files[i];
-        tc.ranks[static_cast<std::size_t>(r)] = tracing::decode_local_trace(
-            read_file_bytes(dir_by_metahost_[m] + "/" +
-                            tracing::trace_filename(r)));
-        MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
-                  "trace file rank mismatch");
+        const std::string path =
+            dir_by_metahost_[m] + "/" + tracing::trace_filename(r);
+        try {
+          auto trace =
+              tracing::decode_local_trace(read_file_bytes(path), path);
+          if (trace.rank != r)
+            throw Error(ErrorCode::Corrupt,
+                        "trace file rank mismatch (file claims rank " +
+                            std::to_string(trace.rank) + ")",
+                        ErrorContext{path, r, -1});
+          tc.ranks[static_cast<std::size_t>(r)] = std::move(trace);
+        } catch (const Error& e) {
+          if (!opts.permissive) throw e.with_context(ErrorContext{path, r, -1});
+          // Quarantine: leave the rank as an empty trace and record why.
+          tc.ranks[static_cast<std::size_t>(r)] = tracing::LocalTrace{};
+          tc.ranks[static_cast<std::size_t>(r)].rank = r;
+          const std::lock_guard<std::mutex> lock(quarantine_mu);
+          quarantined.push_back(
+              QuarantineRecord{r, path, e.code(), e.base_message()});
+        }
       },
       &rec_obs);
   telemetry::record_stage_parallelism("archive_read", pst);
+
+  if (!quarantined.empty()) {
+    // Deterministic report order regardless of reader interleaving.
+    std::sort(quarantined.begin(), quarantined.end(),
+              [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                return a.rank < b.rank;
+              });
+    telemetry::counter("archive.read.quarantined")
+        .add(quarantined.size());
+    const std::size_t pruned = tracing::prune_quarantined(
+        tc, [&] {
+          std::vector<Rank> rs;
+          for (const auto& q : quarantined) rs.push_back(q.rank);
+          return rs;
+        }());
+    telemetry::counter("archive.read.pruned_events").add(pruned);
+    if (report) {
+      report->quarantined = std::move(quarantined);
+      report->events_pruned = pruned;
+    }
+  }
   return tc;
+}
+
+tracing::TraceCollection ExperimentArchive::read_traces(
+    std::size_t max_workers) const {
+  ReadOptions opts;
+  opts.max_workers = max_workers;
+  return read_traces(opts);
 }
 
 tracing::LocalTrace ExperimentArchive::read_local_trace(
     const simnet::Topology& topo, Rank r) const {
-  const std::string& dir = dir_of(topo.metahost_of(r));
-  return tracing::decode_local_trace(
-      read_file_bytes(dir + "/" + tracing::trace_filename(r)));
+  const std::string path =
+      dir_of(topo.metahost_of(r)) + "/" + tracing::trace_filename(r);
+  try {
+    return tracing::decode_local_trace(read_file_bytes(path), path);
+  } catch (const Error& e) {
+    throw e.with_context(ErrorContext{path, r, -1});
+  }
 }
 
 tracing::TraceCollection ExperimentArchive::read_defs(MetahostId m) const {
-  return tracing::decode_defs(
-      read_file_bytes(dir_of(m) + "/" + tracing::defs_filename()));
+  const std::string path = dir_of(m) + "/" + tracing::defs_filename();
+  return tracing::decode_defs(read_file_bytes(path), path);
 }
 
 }  // namespace metascope::archive

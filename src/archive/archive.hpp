@@ -23,11 +23,47 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "simnet/topology.hpp"
 #include "tracing/trace.hpp"
 
 namespace metascope::archive {
+
+/// How read_traces reacts to undecodable data (see ReadReport).
+struct ReadOptions {
+  /// Strict (default): the first undecodable file aborts the read with
+  /// a typed Error naming the file, rank, and byte offset. Permissive:
+  /// ranks whose trace files are missing/corrupt are *quarantined* —
+  /// their traces come back empty, events in surviving ranks that can
+  /// no longer match (p2p with a quarantined peer, collectives on a
+  /// communicator containing one) are pruned, and the analyzer proceeds
+  /// on the survivors. Quarantines are recorded in the ReadReport and
+  /// in telemetry ("archive.read.quarantined" /
+  /// "archive.read.pruned_events").
+  bool permissive{false};
+  /// Per-rank reads fan out on up to this many threads (0 = hardware
+  /// concurrency). The result is identical for any count.
+  std::size_t max_workers{0};
+};
+
+/// One quarantined rank and why.
+struct QuarantineRecord {
+  Rank rank{kNoRank};
+  std::string path;
+  ErrorCode code{ErrorCode::None};
+  std::string reason;
+};
+
+/// What a permissive read had to do to proceed.
+struct ReadReport {
+  /// Sorted by rank; empty on a clean read.
+  std::vector<QuarantineRecord> quarantined;
+  /// Events dropped/degraded in surviving ranks by quarantine pruning.
+  std::size_t events_pruned{0};
+
+  [[nodiscard]] std::vector<Rank> quarantined_ranks() const;
+};
 
 /// Which file-system root each metahost mounts.
 class FileSystemLayout {
@@ -103,7 +139,12 @@ class ExperimentArchive {
   /// Re-assembles the full collection from all partial archives (what a
   /// post-mortem analysis with access to all file systems would do; the
   /// parallel analyzer instead reads only local files — see analysis/).
-  /// Per-rank reads + decodes fan out like write_traces.
+  /// Per-rank reads + decodes fan out like write_traces. Strict by
+  /// default; see ReadOptions for the permissive-recovery mode. The
+  /// optional report receives the quarantine outcome (cleared first).
+  [[nodiscard]] tracing::TraceCollection read_traces(
+      const ReadOptions& opts, ReadReport* report = nullptr) const;
+  /// Back-compat shim: strict read with a worker-count cap.
   [[nodiscard]] tracing::TraceCollection read_traces(
       std::size_t max_workers = 0) const;
 

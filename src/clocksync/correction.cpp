@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -98,6 +99,15 @@ std::vector<LinearCorrection> build_corrections(const TraceCollection& tc) {
         const auto& re = record_of_phase(t, 1);
         MSC_CHECK(rb.ref_rank == re.ref_rank,
                   "phase records reference different masters");
+        // ref_rank arrives from decoded trace bytes — bound it before
+        // it indexes anything (a garbage reference must be a typed
+        // error, not an out-of-bounds write).
+        if (rb.ref_rank < 0 || rb.ref_rank >= n)
+          throw Error(ErrorCode::Corrupt,
+                      "offset record of rank " + std::to_string(r) +
+                          " references nonexistent rank " +
+                          std::to_string(rb.ref_rank),
+                      ErrorContext{"", r, -1});
         const LinearCorrection to_ref = from_two(rb, re);
         slot = LinearCorrection::compose(resolve(rb.ref_rank), to_ref);
         st = 2;

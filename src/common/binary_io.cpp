@@ -1,9 +1,10 @@
 #include "common/binary_io.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-
-#include "common/error.hpp"
 
 namespace metascope {
 
@@ -47,7 +48,10 @@ void BufWriter::put_bytes(const void* data, std::size_t n) {
 }
 
 void BufReader::need(std::size_t n) const {
-  if (pos_ + n > size_) throw Error("binary read past end of buffer");
+  // size_ - pos_ cannot underflow (pos_ <= size_ is an invariant);
+  // comparing against it instead of pos_ + n avoids the wraparound a
+  // huge attacker-controlled n would cause.
+  if (n > size_ - pos_) throw Error("binary read past end of buffer");
 }
 
 std::uint8_t BufReader::get_u8() {
@@ -99,29 +103,180 @@ double BufReader::get_f64() {
 
 std::string BufReader::get_string() {
   const std::uint64_t n = get_varint();
-  need(n);
-  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-  pos_ += n;
+  if (n > remaining()) throw Error("binary read past end of buffer");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
   return s;
 }
 
+// --- Decoder -------------------------------------------------------------
+
+void Decoder::fail(ErrorCode code, const std::string& msg) const {
+  ErrorContext ctx = ctx_;
+  ctx.byte_offset = static_cast<std::int64_t>(pos_);
+  throw Error(code, msg, std::move(ctx));
+}
+
+void Decoder::need(std::size_t n, const char* what) const {
+  if (n > size_ - pos_) {
+    fail(ErrorCode::Truncated,
+         std::string("truncated: need ") + std::to_string(n) +
+             " more byte(s) for " + what + " but only " +
+             std::to_string(size_ - pos_) + " remain");
+  }
+}
+
+std::uint8_t Decoder::get_u8() {
+  need(1, "u8");
+  return data_[pos_++];
+}
+
+std::uint32_t Decoder::get_u32() {
+  need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::get_u64() {
+  need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    need(1, "varint");
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64) fail(ErrorCode::Corrupt, "varint longer than 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t Decoder::get_svarint() {
+  const std::uint64_t u = get_varint();
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
+double Decoder::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string Decoder::get_string(const char* what) {
+  const std::uint64_t n = get_varint();
+  if (n > kMaxStringBytes)
+    fail(ErrorCode::LimitExceeded,
+         std::string(what) + " length " + std::to_string(n) +
+             " exceeds the " + std::to_string(kMaxStringBytes) +
+             "-byte string cap");
+  need(static_cast<std::size_t>(n), what);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::uint64_t Decoder::get_count(const char* what,
+                                 std::size_t min_bytes_per_item) {
+  const std::uint64_t n = get_varint();
+  if (n > kMaxCount)
+    fail(ErrorCode::LimitExceeded,
+         std::string("count of ") + what + " (" + std::to_string(n) +
+             ") exceeds the sanity cap of " + std::to_string(kMaxCount));
+  // A zero per-item floor means the count has no payload of its own
+  // (e.g. the defs rank count) — only the absolute cap applies then.
+  if (min_bytes_per_item > 0) {
+    // n <= 2^27 and min is a small constant, so the product cannot
+    // overflow.
+    const std::uint64_t floor_bytes = n * min_bytes_per_item;
+    if (floor_bytes > remaining())
+      fail(ErrorCode::Truncated,
+           std::string("truncated: header promises ") + std::to_string(n) +
+               " " + what + " (>= " + std::to_string(floor_bytes) +
+               " bytes) but only " + std::to_string(remaining()) +
+               " payload bytes are present");
+  }
+  return n;
+}
+
+void Decoder::expect_magic(std::uint32_t expected, const char* what) {
+  const std::size_t at = pos_;
+  const std::uint32_t got = get_u32();
+  if (got != expected) {
+    pos_ = at;
+    fail(ErrorCode::Corrupt,
+         std::string("bad ") + what + " magic (got 0x" + [&] {
+           char buf[16];
+           std::snprintf(buf, sizeof buf, "%08X", got);
+           return std::string(buf);
+         }() + ")");
+  }
+}
+
+void Decoder::expect_version(std::uint32_t expected, const char* what) {
+  const std::size_t at = pos_;
+  const std::uint32_t got = get_u32();
+  if (got != expected) {
+    pos_ = at;
+    fail(ErrorCode::VersionMismatch,
+         std::string("unsupported ") + what + " format version " +
+             std::to_string(got) + " (this build reads version " +
+             std::to_string(expected) + ")");
+  }
+}
+
+void Decoder::require_end(const char* what) {
+  if (pos_ != size_)
+    fail(ErrorCode::Corrupt, std::string("trailing bytes in ") + what + " (" +
+                                 std::to_string(size_ - pos_) +
+                                 " undecoded)");
+}
+
+// --- whole-file helpers --------------------------------------------------
+
 void write_file_bytes(const std::string& path,
                       const std::vector<std::uint8_t>& bytes) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open for write: " + path);
+  if (!out)
+    throw Error(ErrorCode::Io,
+                std::string("cannot open for write") +
+                    (errno ? std::string(" (") + std::strerror(errno) + ")"
+                           : ""),
+                ErrorContext{path, -1, -1});
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw Error("write failed: " + path);
+  if (!out) throw Error(ErrorCode::Io, "write failed",
+                        ErrorContext{path, -1, -1});
 }
 
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw Error("cannot open for read: " + path);
+  if (!in)
+    throw Error(ErrorCode::Io,
+                std::string("cannot open for read") +
+                    (errno ? std::string(" (") + std::strerror(errno) + ")"
+                           : ""),
+                ErrorContext{path, -1, -1});
   const std::streamsize size = in.tellg();
   in.seekg(0);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) throw Error("read failed: " + path);
+  if (!in) throw Error(ErrorCode::Io, "read failed",
+                       ErrorContext{path, -1, -1});
   return bytes;
 }
 

@@ -3,11 +3,23 @@
 // Encoding: fixed-width little-endian for floats, LEB128 varints for
 // integers (event streams are dominated by small ints — ranks, tags,
 // region ids — so varints cut trace size roughly in half).
+//
+// Two readers:
+//  - BufReader: the minimal primitive reader (kept for tooling and
+//    fuzz-harness plumbing); throws plain Errors on underflow.
+//  - Decoder: the hardened facade every production decode path goes
+//    through. It tracks remaining bytes overflow-safely, enforces
+//    sanity caps on counts/string lengths derived from the bytes
+//    actually present, and throws taxonomy-typed Errors (Truncated /
+//    Corrupt / VersionMismatch / LimitExceeded) carrying the source
+//    path, rank, and exact byte offset of the failure.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace metascope {
 
@@ -60,7 +72,77 @@ class BufReader {
   std::size_t pos_{0};
 };
 
-/// Whole-file helpers; throw Error on I/O failure.
+/// Bounds-checked decode facade (see header comment). Every get_* call
+/// checks the remaining byte count without arithmetic wraparound; count
+/// and length fields are validated against both an absolute cap and the
+/// bytes still present, so a flipped high bit in a size field becomes a
+/// typed Error instead of a multi-gigabyte allocation.
+class Decoder {
+ public:
+  /// Hard ceiling on any element count a single file may declare. Far
+  /// above any real archive (a trace with 2^27 events is ~1.2 GiB) but
+  /// low enough that count*sizeof(element) can never overflow or OOM.
+  static constexpr std::uint64_t kMaxCount = 1ULL << 27;
+  /// Hard ceiling on one string (region/metahost/comm names).
+  static constexpr std::uint64_t kMaxStringBytes = 1ULL << 20;
+
+  Decoder(const std::uint8_t* data, std::size_t size, ErrorContext ctx = {})
+      : data_(data), size_(size), ctx_(std::move(ctx)) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf, ErrorContext ctx = {})
+      : Decoder(buf.data(), buf.size(), std::move(ctx)) {}
+
+  /// Updates the rank attached to subsequent error contexts (decoders
+  /// learn the rank partway through the header).
+  void set_rank(int rank) { ctx_.rank = rank; }
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  std::int64_t get_svarint();
+  double get_f64();
+
+  /// Varint length prefix + raw bytes; length checked against
+  /// kMaxStringBytes (LimitExceeded) and the remaining bytes
+  /// (Truncated).
+  std::string get_string(const char* what = "string");
+
+  /// Element-count field: reads a varint and validates it against
+  /// kMaxCount (LimitExceeded — an oversized/bit-flipped count field)
+  /// and against remaining()/min_bytes_per_item (Truncated — a sane
+  /// count whose payload is missing). The returned value is safe to
+  /// pass to vector::reserve.
+  std::uint64_t get_count(const char* what, std::size_t min_bytes_per_item);
+
+  /// Header helpers. Magic mismatch → Corrupt; version mismatch →
+  /// VersionMismatch naming both versions.
+  void expect_magic(std::uint32_t expected, const char* what);
+  void expect_version(std::uint32_t expected, const char* what);
+
+  /// Throws Corrupt if any undecoded bytes remain.
+  void require_end(const char* what);
+
+  /// Typed failure at the current offset (decoders use this for their
+  /// own semantic checks, e.g. an unknown event-type byte).
+  [[noreturn]] void fail(ErrorCode code, const std::string& msg) const;
+
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] const ErrorContext& context() const { return ctx_; }
+
+ private:
+  /// Overflow-safe bounds check: Truncated if fewer than n bytes remain.
+  void need(std::size_t n, const char* what) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+  ErrorContext ctx_;
+};
+
+/// Whole-file helpers; throw Error (ErrorCode::Io, path attached) on I/O
+/// failure.
 void write_file_bytes(const std::string& path,
                       const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> read_file_bytes(const std::string& path);

@@ -225,6 +225,11 @@ class Parser {
   }
 
  private:
+  /// Nesting cap: the parser recurses per container level, so an
+  /// adversarial "[[[[..." must become a parse error long before it
+  /// becomes a stack overflow.
+  static constexpr int kMaxDepth = 256;
+
   [[noreturn]] void fail(const std::string& msg) const {
     std::size_t line = 1;
     std::size_t col = 1;
@@ -238,7 +243,8 @@ class Parser {
     }
     std::ostringstream os;
     os << "json parse error at line " << line << " col " << col << ": " << msg;
-    throw Error(os.str());
+    throw Error(ErrorCode::Corrupt, os.str(),
+                ErrorContext{"", -1, static_cast<std::int64_t>(pos_)});
   }
 
   void skip_ws() {
@@ -277,6 +283,7 @@ class Parser {
 
   Json parse_value() {
     skip_ws();
+    if (depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
     const char c = peek();
     switch (c) {
       case '{':
@@ -301,10 +308,12 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    ++depth_;
     Json::Object o;
     skip_ws();
     if (peek() == '}') {
       get();
+      --depth_;
       return Json(std::move(o));
     }
     while (true) {
@@ -321,15 +330,18 @@ class Parser {
         fail("expected ',' or '}'");
       }
     }
+    --depth_;
     return Json(std::move(o));
   }
 
   Json parse_array() {
     expect('[');
+    ++depth_;
     Json::Array a;
     skip_ws();
     if (peek() == ']') {
       get();
+      --depth_;
       return Json(std::move(a));
     }
     while (true) {
@@ -342,6 +354,7 @@ class Parser {
         fail("expected ',' or ']'");
       }
     }
+    --depth_;
     return Json(std::move(a));
   }
 
@@ -417,6 +430,7 @@ class Parser {
 
   const std::string& t_;
   std::size_t pos_{0};
+  int depth_{0};
 };
 
 }  // namespace
@@ -426,11 +440,21 @@ Json Json::parse(const std::string& text) {
 }
 
 Json load_json_file(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open json file: " + path);
+  if (!in)
+    throw Error(ErrorCode::Io,
+                std::string("cannot open json file") +
+                    (errno ? std::string(" (") + std::strerror(errno) + ")"
+                           : ""),
+                ErrorContext{path, -1, -1});
   std::ostringstream ss;
   ss << in.rdbuf();
-  return Json::parse(ss.str());
+  try {
+    return Json::parse(ss.str());
+  } catch (const Error& e) {
+    throw e.with_context(ErrorContext{path, -1, -1});
+  }
 }
 
 namespace {

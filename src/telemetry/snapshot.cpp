@@ -25,6 +25,13 @@ void set_run_metadata(Json meta) {
   run_metadata_slot() = std::move(meta);
 }
 
+void merge_run_metadata(const std::string& key, Json value) {
+  std::lock_guard<std::mutex> lock(g_run_m);
+  Json& meta = run_metadata_slot();
+  if (!meta.is_object()) meta = Json{Json::Object{}};
+  meta.set(key, std::move(value));
+}
+
 Json run_metadata_json() {
   std::lock_guard<std::mutex> lock(g_run_m);
   return run_metadata_slot();

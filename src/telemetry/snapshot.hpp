@@ -32,6 +32,12 @@ Json snapshot_json();
 /// "workers"}. A null value removes the section.
 void set_run_metadata(Json meta);
 
+/// Merges one key into the run metadata object (creating it when none
+/// was set), preserving the other keys — for stages that learn facts
+/// after the initial set_run_metadata call (e.g. the archive reader's
+/// quarantine outcome).
+void merge_run_metadata(const std::string& key, Json value);
+
 /// The currently attached run metadata (null if none).
 [[nodiscard]] Json run_metadata_json();
 

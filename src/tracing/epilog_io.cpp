@@ -10,12 +10,16 @@ namespace {
 constexpr std::uint32_t kDefsMagic = 0x4453434DU;   // "MCSD"
 constexpr std::uint32_t kTraceMagic = 0x5453434DU;  // "MCST"
 
-void check_header(BufReader& r, std::uint32_t magic) {
-  MSC_CHECK(r.get_u32() == magic, "bad trace file magic");
-  const std::uint32_t version = r.get_u32();
-  MSC_CHECK(version == kTraceFormatVersion,
-            "unsupported trace format version " + std::to_string(version));
-}
+// Cheapest possible encodings, used to validate header counts against
+// the bytes actually present before reserving anything: a sync record is
+// >= 26 bytes (u8 + 1-byte svarint + 3 f64), an event >= 9 (u8 type +
+// f64 time); defs-table entries bottom out at their field prefixes.
+constexpr std::size_t kMinSyncRecordBytes = 26;
+constexpr std::size_t kMinEventBytes = 9;
+constexpr std::size_t kMinRegionBytes = 1;    // string length prefix
+constexpr std::size_t kMinMetahostBytes = 2;  // id + name prefix
+constexpr std::size_t kMinLocationBytes = 4;  // four svarints
+constexpr std::size_t kMinCommBytes = 3;      // id + name prefix + count
 }  // namespace
 
 std::vector<std::uint8_t> encode_defs(const TraceCollection& tc) {
@@ -54,51 +58,67 @@ std::vector<std::uint8_t> encode_defs(const TraceCollection& tc) {
   return w.data();
 }
 
-TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes) {
-  BufReader r(bytes);
-  check_header(r, kDefsMagic);
+TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
+                            const std::string& path) {
+  Decoder d(bytes, ErrorContext{path, -1, -1});
+  d.expect_magic(kDefsMagic, "defs file");
+  d.expect_version(kTraceFormatVersion, "defs file");
   TraceCollection tc;
-  tc.scheme = static_cast<SyncScheme>(r.get_u8());
-  tc.synchronized = r.get_u8() != 0;
-  const auto nranks = r.get_varint();
-  tc.ranks.resize(nranks);
+  const std::uint8_t scheme = d.get_u8();
+  if (scheme > static_cast<std::uint8_t>(SyncScheme::HierarchicalTwo))
+    d.fail(ErrorCode::Corrupt, "unknown sync scheme byte " +
+                                   std::to_string(static_cast<int>(scheme)));
+  tc.scheme = static_cast<SyncScheme>(scheme);
+  tc.synchronized = d.get_u8() != 0;
+  // The rank count has no per-rank payload in the defs file, so only the
+  // absolute cap applies (min_bytes_per_item = 0).
+  const auto nranks = d.get_count("ranks", 0);
+  if (nranks > kMaxRanksPerArchive)
+    d.fail(ErrorCode::LimitExceeded,
+           "rank count " + std::to_string(nranks) + " exceeds the cap of " +
+               std::to_string(kMaxRanksPerArchive));
+  tc.ranks.resize(static_cast<std::size_t>(nranks));
   for (std::size_t i = 0; i < nranks; ++i)
     tc.ranks[i].rank = static_cast<Rank>(i);
 
-  const auto nregions = r.get_varint();
+  const auto nregions = d.get_count("regions", kMinRegionBytes);
   for (std::uint64_t i = 0; i < nregions; ++i)
-    tc.defs.regions.intern(r.get_string());
+    tc.defs.regions.intern(d.get_string("region name"));
 
-  const auto nmh = r.get_varint();
+  const auto nmh = d.get_count("metahosts", kMinMetahostBytes);
   for (std::uint64_t i = 0; i < nmh; ++i) {
     MetahostDef mh;
-    mh.id = MetahostId{static_cast<int>(r.get_svarint())};
-    mh.name = r.get_string();
+    mh.id = MetahostId{static_cast<int>(d.get_svarint())};
+    mh.name = d.get_string("metahost name");
     tc.defs.metahosts.push_back(std::move(mh));
   }
 
-  const auto nloc = r.get_varint();
+  const auto nloc = d.get_count("locations", kMinLocationBytes);
+  if (nloc != 0 && nloc != nranks)
+    d.fail(ErrorCode::Corrupt,
+           "location table size " + std::to_string(nloc) +
+               " does not match the rank count " + std::to_string(nranks));
   for (std::uint64_t i = 0; i < nloc; ++i) {
     LocationDef loc;
-    loc.machine = MetahostId{static_cast<int>(r.get_svarint())};
-    loc.node = NodeId{static_cast<int>(r.get_svarint())};
-    loc.process = static_cast<Rank>(r.get_svarint());
-    loc.thread = static_cast<int>(r.get_svarint());
+    loc.machine = MetahostId{static_cast<int>(d.get_svarint())};
+    loc.node = NodeId{static_cast<int>(d.get_svarint())};
+    loc.process = static_cast<Rank>(d.get_svarint());
+    loc.thread = static_cast<int>(d.get_svarint());
     tc.defs.locations.push_back(loc);
   }
 
-  const auto ncomm = r.get_varint();
+  const auto ncomm = d.get_count("communicators", kMinCommBytes);
   for (std::uint64_t i = 0; i < ncomm; ++i) {
     CommDef c;
-    c.id = CommId{static_cast<int>(r.get_svarint())};
-    c.name = r.get_string();
-    const auto nmem = r.get_varint();
-    c.members.reserve(nmem);
+    c.id = CommId{static_cast<int>(d.get_svarint())};
+    c.name = d.get_string("communicator name");
+    const auto nmem = d.get_count("communicator members", 1);
+    c.members.reserve(static_cast<std::size_t>(nmem));
     for (std::uint64_t k = 0; k < nmem; ++k)
-      c.members.push_back(static_cast<Rank>(r.get_svarint()));
+      c.members.push_back(static_cast<Rank>(d.get_svarint()));
     tc.defs.comms.push_back(std::move(c));
   }
-  MSC_CHECK(r.at_end(), "trailing bytes in defs file");
+  d.require_end("defs file");
   return tc;
 }
 
@@ -150,80 +170,87 @@ std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
   return w.data();
 }
 
-LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes) {
-  BufReader r(bytes);
-  check_header(r, kTraceMagic);
+LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
+                              const std::string& path) {
+  Decoder d(bytes, ErrorContext{path, -1, -1});
+  d.expect_magic(kTraceMagic, "trace file");
+  d.expect_version(kTraceFormatVersion, "trace file");
   LocalTrace t;
-  t.rank = static_cast<Rank>(r.get_svarint());
-
-  const auto nsync = r.get_varint();
-  const auto nev = r.get_varint();
-  // Cheapest possible records: a sync record is >= 26 bytes (u8 +
-  // 1-byte svarint + 3 f64), an event >= 9 (u8 type + f64 time). A
-  // header whose counts cannot fit in the remaining bytes means the
-  // file was cut short — say so before reserving or parsing anything.
-  if (nsync * 26 + nev * 9 > r.remaining())
-    throw Error("truncated trace file for rank " + std::to_string(t.rank) +
-                ": header promises " + std::to_string(nsync) +
-                " sync records and " + std::to_string(nev) +
-                " events but only " + std::to_string(r.remaining()) +
-                " payload bytes are present");
-
-  // Events larger than the 9-byte floor can still run out of bytes
-  // mid-record on a file cut inside the payload; convert the reader's
-  // underflow into the same truncation diagnosis.
-  bool corrupt_type = false;
+  std::uint64_t nev = 0;
+  // A file cut short can run dry anywhere — in the header, in the count
+  // fields, or mid-record. Every such underflow surfaces here as a
+  // Truncated Error; re-throw it under the canonical "truncated trace
+  // file" diagnosis with the progress made, keeping the byte offset the
+  // decoder recorded. Corrupt/LimitExceeded pass through untouched.
   try {
-    t.sync.reserve(nsync);
+    const std::int64_t rank = d.get_svarint();
+    if (rank < -1 || rank > static_cast<std::int64_t>(kMaxRanksPerArchive))
+      d.fail(ErrorCode::Corrupt,
+             "implausible rank id " + std::to_string(rank));
+    t.rank = static_cast<Rank>(rank);
+    d.set_rank(static_cast<int>(rank));
+
+    const auto nsync = d.get_count("sync records", kMinSyncRecordBytes);
+    nev = d.get_count("events", kMinEventBytes);
+
+    t.sync.reserve(static_cast<std::size_t>(nsync));
     for (std::uint64_t i = 0; i < nsync; ++i) {
       OffsetRecord s;
-      s.phase = r.get_u8();
-      s.ref_rank = static_cast<Rank>(r.get_svarint());
-      s.local_mid = r.get_f64();
-      s.offset = r.get_f64();
-      s.error_bound = r.get_f64();
+      s.phase = d.get_u8();
+      s.ref_rank = static_cast<Rank>(d.get_svarint());
+      s.local_mid = d.get_f64();
+      s.offset = d.get_f64();
+      s.error_bound = d.get_f64();
       t.sync.push_back(s);
     }
 
-    t.events.reserve(nev);
+    t.events.reserve(static_cast<std::size_t>(nev));
     for (std::uint64_t i = 0; i < nev; ++i) {
       Event e;
-      e.type = static_cast<EventType>(r.get_u8());
-      e.time = r.get_f64();
-      switch (e.type) {
+      const std::uint8_t type = d.get_u8();
+      e.time = d.get_f64();
+      switch (static_cast<EventType>(type)) {
         case EventType::Enter:
-          e.region = RegionId{static_cast<int>(r.get_svarint())};
+          e.type = EventType::Enter;
+          e.region = RegionId{static_cast<int>(d.get_svarint())};
           break;
         case EventType::Exit:
+          e.type = EventType::Exit;
           break;
         case EventType::Send:
         case EventType::Recv:
-          e.peer = static_cast<Rank>(r.get_svarint());
-          e.tag = static_cast<int>(r.get_svarint());
-          e.bytes = r.get_f64();
-          e.comm = CommId{static_cast<int>(r.get_svarint())};
+          e.type = static_cast<EventType>(type);
+          e.peer = static_cast<Rank>(d.get_svarint());
+          e.tag = static_cast<int>(d.get_svarint());
+          e.bytes = d.get_f64();
+          e.comm = CommId{static_cast<int>(d.get_svarint())};
           break;
         case EventType::CollExit:
-          e.region = RegionId{static_cast<int>(r.get_svarint())};
-          e.comm = CommId{static_cast<int>(r.get_svarint())};
-          e.root = static_cast<Rank>(r.get_svarint());
-          e.bytes = r.get_f64();
-          e.sent_bytes = r.get_f64();
-          e.recvd_bytes = r.get_f64();
+          e.type = EventType::CollExit;
+          e.region = RegionId{static_cast<int>(d.get_svarint())};
+          e.comm = CommId{static_cast<int>(d.get_svarint())};
+          e.root = static_cast<Rank>(d.get_svarint());
+          e.bytes = d.get_f64();
+          e.sent_bytes = d.get_f64();
+          e.recvd_bytes = d.get_f64();
           break;
         default:
-          corrupt_type = true;
-          throw Error("corrupt trace: unknown event type");
+          d.fail(ErrorCode::Corrupt, "corrupt trace: unknown event type " +
+                                         std::to_string(static_cast<int>(
+                                             type)));
       }
       t.events.push_back(e);
     }
-  } catch (const Error&) {
-    if (corrupt_type) throw;
-    throw Error("truncated trace file for rank " + std::to_string(t.rank) +
-                ": payload ends after " + std::to_string(t.events.size()) +
-                " of " + std::to_string(nev) + " events");
+    d.require_end("trace file");
+  } catch (const Error& e) {
+    if (e.code() != ErrorCode::Truncated) throw;
+    throw Error(ErrorCode::Truncated,
+                "truncated trace file for rank " + std::to_string(t.rank) +
+                    ": payload ends after " + std::to_string(t.events.size()) +
+                    " of " + std::to_string(nev) + " events (" +
+                    e.base_message() + ")",
+                e.context());
   }
-  MSC_CHECK(r.at_end(), "trailing bytes in trace file");
   return t;
 }
 
@@ -241,13 +268,19 @@ void write_collection(const std::string& dir, const TraceCollection& tc) {
 }
 
 TraceCollection read_collection(const std::string& dir) {
-  TraceCollection tc =
-      decode_defs(read_file_bytes(dir + "/" + defs_filename()));
+  const std::string defs_path = dir + "/" + defs_filename();
+  TraceCollection tc = decode_defs(read_file_bytes(defs_path), defs_path);
   for (int r = 0; r < tc.num_ranks(); ++r) {
+    const std::string path = dir + "/" + trace_filename(r);
     tc.ranks[static_cast<std::size_t>(r)] =
-        decode_local_trace(read_file_bytes(dir + "/" + trace_filename(r)));
-    MSC_CHECK(tc.ranks[static_cast<std::size_t>(r)].rank == r,
-              "trace file rank mismatch");
+        decode_local_trace(read_file_bytes(path), path);
+    if (tc.ranks[static_cast<std::size_t>(r)].rank != r)
+      throw Error(ErrorCode::Corrupt,
+                  "trace file rank mismatch (file claims rank " +
+                      std::to_string(tc.ranks[static_cast<std::size_t>(r)]
+                                         .rank) +
+                      ")",
+                  ErrorContext{path, r, -1});
   }
   return tc;
 }

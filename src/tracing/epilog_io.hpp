@@ -14,6 +14,12 @@
 // describe) so a decoder can size its vectors with a single reserve
 // before touching the payload, and can report truncation up front by
 // checking the counts against the bytes actually present.
+//
+// All decoding goes through the bounds-checked Decoder facade
+// (common/binary_io.hpp): every failure is an Error carrying an
+// ErrorCode (Truncated / Corrupt / VersionMismatch / LimitExceeded)
+// plus the source path, rank, and byte offset. Pass `path` so the
+// context names the file; callers that only hold bytes may omit it.
 #pragma once
 
 #include <cstdint>
@@ -26,16 +32,22 @@ namespace metascope::tracing {
 
 inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
+/// Sanity cap on the rank count a defs file may declare (well above any
+/// simulated metacomputer; bounds the decoder's up-front allocation).
+inline constexpr std::uint64_t kMaxRanksPerArchive = 1ULL << 22;
+
 /// Serialization of the shared definition records (+ collection flags).
 std::vector<std::uint8_t> encode_defs(const TraceCollection& tc);
 
 /// Decodes definitions into an empty collection (ranks left empty but
 /// sized; scheme/synchronized restored).
-TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes);
+TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
+                            const std::string& path = {});
 
 /// Serialization of one process's events + sync records.
 std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace);
-LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes);
+LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
+                              const std::string& path = {});
 
 /// Conventional file names inside an archive directory.
 std::string defs_filename();

@@ -71,4 +71,19 @@ struct TraceCollection {
   [[nodiscard]] std::vector<GlobalRef> global_order() const;
 };
 
+/// Permissive-recovery support: removes from the surviving ranks every
+/// event that can no longer be matched once the given ranks are
+/// quarantined (their traces emptied) —
+///  - Send/Recv events whose peer is quarantined are dropped (the
+///    enclosing MPI region stays as plain time);
+///  - CollExit events on a communicator containing a quarantined rank
+///    degrade to plain Exit events (the instance is incomplete on every
+///    surviving rank, so the whole instance disappears consistently).
+/// Region nesting stays balanced, so prepare()'s structural validation
+/// and the replay still hold. Returns the number of events dropped or
+/// degraded. Deterministic: depends only on the collection and the
+/// quarantined set, never on reader parallelism.
+std::size_t prune_quarantined(TraceCollection& tc,
+                              const std::vector<Rank>& quarantined);
+
 }  // namespace metascope::tracing

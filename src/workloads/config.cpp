@@ -1,5 +1,8 @@
 #include "workloads/config.hpp"
 
+#include <cstdint>
+#include <string>
+
 #include "common/error.hpp"
 #include "simnet/presets.hpp"
 #include "workloads/clockbench.hpp"
@@ -10,6 +13,32 @@
 namespace metascope::workloads {
 
 namespace {
+
+// Sanity caps on config-driven allocations. A config file is ingested
+// like any other external input: a flipped digit must become a typed
+// LimitExceeded Error, not a multi-gigabyte Program. The caps are far
+// above every preset and bench in the repo (1024-rank pipelines build
+// ~10^5 ops) while bounding worst-case memory to a few hundred MB.
+constexpr std::int64_t kMaxConfigMetahosts = 1024;
+constexpr std::int64_t kMaxConfigNodes = 1 << 16;
+constexpr std::int64_t kMaxConfigRanks = 1 << 20;
+constexpr std::int64_t kMaxConfigSteps = 1 << 20;
+constexpr std::int64_t kMaxConfigOps = 1 << 22;
+
+void check_limit(bool ok, const std::string& what) {
+  if (!ok) throw Error(ErrorCode::LimitExceeded, "config: " + what);
+}
+
+/// Bounded non-negative integer field: rejects values outside [0, cap]
+/// so downstream op-list sizing arithmetic cannot overflow.
+std::int64_t bounded_int(const Json& doc, const std::string& key,
+                         std::int64_t dflt, std::int64_t cap) {
+  const std::int64_t v = doc.int_or(key, dflt);
+  check_limit(v >= 0 && v <= cap,
+              "'" + key + "' = " + std::to_string(v) +
+                  " outside [0, " + std::to_string(cap) + "]");
+  return v;
+}
 
 simnet::LinkSpec parse_link(const Json& doc) {
   simnet::LinkSpec link;
@@ -28,9 +57,10 @@ simmpi::Program parse_workload(const Json& doc, int nranks) {
   const std::string kind = doc.string_or("kind", "metatrace");
   if (kind == "metatrace") {
     MetaTraceConfig mt;
-    mt.trace_ranks = static_cast<int>(doc.int_or("trace_ranks", nranks / 2));
-    mt.partrace_ranks =
-        static_cast<int>(doc.int_or("partrace_ranks", nranks - mt.trace_ranks));
+    mt.trace_ranks = static_cast<int>(
+        bounded_int(doc, "trace_ranks", nranks / 2, kMaxConfigRanks));
+    mt.partrace_ranks = static_cast<int>(bounded_int(
+        doc, "partrace_ranks", nranks - mt.trace_ranks, kMaxConfigRanks));
     MSC_CHECK(mt.trace_ranks + mt.partrace_ranks == nranks,
               "config: metatrace ranks must sum to the placement size");
     if (doc.has("dims")) {
@@ -44,8 +74,18 @@ simmpi::Program parse_workload(const Json& doc, int nranks) {
       mt.dims[1] = 1;
       mt.dims[2] = 1;
     }
-    mt.coupling_steps = static_cast<int>(doc.int_or("coupling_steps", 4));
-    mt.cg_iterations = static_cast<int>(doc.int_or("cg_iterations", 30));
+    mt.coupling_steps = static_cast<int>(
+        bounded_int(doc, "coupling_steps", 4, kMaxConfigSteps));
+    mt.cg_iterations = static_cast<int>(
+        bounded_int(doc, "cg_iterations", 30, kMaxConfigSteps));
+    // Every coupling step emits ~cg_iterations ops per rank; bound the
+    // product so a fuzzer-supplied config cannot demand a 10^12-op
+    // Program that individually-plausible fields would allow.
+    check_limit(static_cast<std::int64_t>(nranks) * mt.coupling_steps *
+                        (mt.cg_iterations + 8) <=
+                    kMaxConfigOps,
+                "metatrace would build more than " +
+                    std::to_string(kMaxConfigOps) + " ops");
     mt.cg_work = doc.number_or("cg_work_s", 0.004);
     mt.halo_bytes = doc.number_or("halo_bytes", 32.0 * 1024.0);
     mt.field_mb_total = doc.number_or("field_mb_total", 200.0);
@@ -54,15 +94,22 @@ simmpi::Program parse_workload(const Json& doc, int nranks) {
   }
   if (kind == "ensemble") {
     EnsembleConfig ec;
-    ec.members = static_cast<int>(doc.int_or("members", 4));
-    ec.ranks_per_member =
-        static_cast<int>(doc.int_or("ranks_per_member",
-                                    ec.members > 0 ? nranks / ec.members : 0));
+    ec.members =
+        static_cast<int>(bounded_int(doc, "members", 4, kMaxConfigRanks));
+    ec.ranks_per_member = static_cast<int>(bounded_int(
+        doc, "ranks_per_member", ec.members > 0 ? nranks / ec.members : 0,
+        kMaxConfigRanks));
     MSC_CHECK(ec.num_ranks() == nranks,
               "config: ensemble members*ranks_per_member must equal the "
               "placement size");
-    ec.cycles = static_cast<int>(doc.int_or("cycles", 3));
-    ec.timesteps = static_cast<int>(doc.int_or("timesteps", 10));
+    ec.cycles = static_cast<int>(bounded_int(doc, "cycles", 3, kMaxConfigSteps));
+    ec.timesteps =
+        static_cast<int>(bounded_int(doc, "timesteps", 10, kMaxConfigSteps));
+    check_limit(static_cast<std::int64_t>(nranks) * ec.cycles *
+                        (ec.timesteps + 8) <=
+                    kMaxConfigOps,
+                "ensemble would build more than " +
+                    std::to_string(kMaxConfigOps) + " ops");
     ec.step_work = doc.number_or("step_work_s", 0.005);
     ec.stats_work = doc.number_or("stats_work_s", 0.01);
     ec.state_bytes = doc.number_or("state_bytes", 256.0 * 1024.0);
@@ -71,7 +118,11 @@ simmpi::Program parse_workload(const Json& doc, int nranks) {
   }
   if (kind == "clockbench") {
     ClockBenchConfig bc;
-    bc.rounds = static_cast<int>(doc.int_or("rounds", 1000));
+    bc.rounds =
+        static_cast<int>(bounded_int(doc, "rounds", 1000, kMaxConfigSteps));
+    check_limit(static_cast<std::int64_t>(nranks) * bc.rounds <= kMaxConfigOps,
+                "clockbench would build more than " +
+                    std::to_string(kMaxConfigOps) + " ops");
     bc.message_bytes = doc.number_or("message_bytes", 64.0);
     bc.pad_work = doc.number_or("pad_work_s", 0.002);
     bc.seed = static_cast<std::uint64_t>(doc.int_or("seed", 0xBE4C4));
@@ -117,11 +168,22 @@ simnet::Topology parse_topology(const Json& doc) {
   }
   simnet::Topology topo;
   MSC_CHECK(doc.has("metahosts"), "config: topology needs metahosts");
-  for (const auto& mh : doc.at("metahosts").as_array()) {
+  const auto& metahosts = doc.at("metahosts").as_array();
+  check_limit(
+      static_cast<std::int64_t>(metahosts.size()) <= kMaxConfigMetahosts,
+      "more than " + std::to_string(kMaxConfigMetahosts) + " metahosts");
+  for (const auto& mh : metahosts) {
     simnet::MetahostSpec spec;
     spec.name = mh.at("name").as_string();
-    spec.num_nodes = static_cast<int>(mh.int_or("nodes", 1));
-    spec.cpus_per_node = static_cast<int>(mh.int_or("cpus_per_node", 1));
+    spec.num_nodes =
+        static_cast<int>(bounded_int(mh, "nodes", 1, kMaxConfigNodes));
+    spec.cpus_per_node =
+        static_cast<int>(bounded_int(mh, "cpus_per_node", 1, kMaxConfigNodes));
+    check_limit(static_cast<std::int64_t>(spec.num_nodes) *
+                        spec.cpus_per_node <=
+                    kMaxConfigRanks,
+                "metahost '" + spec.name + "' would hold more than " +
+                    std::to_string(kMaxConfigRanks) + " cpus");
     spec.speed_factor = mh.number_or("speed", 1.0);
     spec.internal = parse_link(mh);
     spec.has_global_clock = mh.bool_or("global_clock", false);
@@ -136,6 +198,9 @@ simnet::Topology parse_topology(const Json& doc) {
         MetahostId{static_cast<int>(p.at("metahost").as_int())},
         static_cast<int>(p.at("nodes").as_int()),
         static_cast<int>(p.at("procs_per_node").as_int()));
+    check_limit(topo.num_ranks() <= kMaxConfigRanks,
+                "placement places more than " +
+                    std::to_string(kMaxConfigRanks) + " ranks");
   }
   MSC_CHECK(topo.num_ranks() > 0, "config: placement placed no ranks");
   return topo;
@@ -166,7 +231,7 @@ ExperimentSpec parse_experiment(const Json& doc) {
   cfg.measurement.seed = seed + 2;
 
   ExperimentSpec spec{doc.string_or("name", "experiment"), std::move(topo),
-                      std::move(prog), cfg, {}};
+                      std::move(prog), cfg, {}, {}};
   if (doc.has("analysis")) {
     const Json& a = doc.at("analysis");
     if (a.has("patterns"))

@@ -1,0 +1,30 @@
+// Fuzz target: the JSON parser and the experiment-config layer above
+// it. Covers the text-input half of ingestion: parser recursion is
+// depth-capped (no stack overflow from "[[[[..."), config integers are
+// range-checked (no multi-gigabyte Program from a flipped digit), and
+// every rejection is a typed metascope::Error.
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "workloads/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  metascope::Json doc;
+  try {
+    doc = metascope::Json::parse(text);
+  } catch (const metascope::Error&) {
+    return 0;  // malformed JSON, rejected with a typed error
+  }
+  try {
+    (void)metascope::workloads::parse_experiment(doc);
+  } catch (const metascope::Error&) {
+    // Well-formed JSON that is not a valid experiment — also fine.
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

@@ -1,0 +1,47 @@
+// Shared entry-point shim for the fuzz harnesses.
+//
+// Under clang the harnesses build with -fsanitize=fuzzer and libFuzzer
+// provides main(). Under gcc (no libFuzzer) the fuzz CMake target
+// defines MSC_FUZZ_STANDALONE instead, and this header supplies a
+// file-driven main(): each command-line argument is read and fed to
+// LLVMFuzzerTestOneInput once. That keeps the harnesses compilable and
+// runnable (corpus replay, crash reproduction) on any toolchain; only
+// coverage-guided exploration needs clang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifdef MSC_FUZZ_STANDALONE
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "common/binary_io.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "standalone fuzz driver (built without libFuzzer)\n"
+                 "usage: %s <input-file>...\n",
+                 argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const std::vector<std::uint8_t> bytes =
+          metascope::read_file_bytes(argv[i]);
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      std::printf("ok: %s (%zu bytes)\n", argv[i], bytes.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error on %s: %s\n", argv[i], e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+#endif

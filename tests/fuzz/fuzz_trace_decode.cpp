@@ -1,0 +1,31 @@
+// Fuzz target: the binary trace/defs decoders. The contract under test
+// is the hardened-ingestion invariant: for ANY byte string, decoding
+// either succeeds or throws a typed metascope::Error — never crashes,
+// never reads out of bounds (ASan), never overflows arithmetic (UBSan),
+// never allocates proportionally to attacker-controlled count fields.
+//
+// Both decoders run on the same input: the magic words ("MCSD" vs
+// "MCST") disambiguate real files, so a single corpus exercises both
+// paths and the mutator can freely morph one format into the other.
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tracing/epilog_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    (void)metascope::tracing::decode_local_trace(bytes, "<fuzz>");
+  } catch (const metascope::Error&) {
+    // Typed rejection is the expected outcome for invalid input.
+  }
+  try {
+    (void)metascope::tracing::decode_defs(bytes, "<fuzz>");
+  } catch (const metascope::Error&) {
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

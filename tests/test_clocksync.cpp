@@ -208,6 +208,25 @@ TEST(Corrections, MissingPhaseRecordRejected) {
   EXPECT_THROW(build_corrections(data.traces), Error);
 }
 
+// Regression: ref_rank comes straight from decoded trace bytes; an
+// out-of-range value must surface as a typed Corrupt error, not index
+// out of bounds (found by fuzz_sync_decode).
+TEST(Corrections, OutOfRangeRefRankRejected) {
+  const auto topo = simnet::make_viola_experiment1();
+  auto prog = workloads::build_clock_bench(32, {});
+  workloads::ExperimentConfig cfg;
+  cfg.measurement.scheme = SyncScheme::HierarchicalTwo;
+  auto data = workloads::run_experiment(topo, prog, cfg);
+  for (auto& rec : data.traces.ranks[5].sync) rec.ref_rank = 1 << 20;
+  try {
+    build_corrections(data.traces);
+    FAIL() << "garbage ref_rank must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+    EXPECT_EQ(e.context().rank, 5);
+  }
+}
+
 TEST(ClockCondition, CountsKnownViolation) {
   tracing::TraceCollection tc;
   tc.ranks.resize(2);

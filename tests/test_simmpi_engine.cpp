@@ -168,7 +168,9 @@ TEST(Engine, IrecvWaitCarriesRecvEvent) {
   RegionId current;
   for (const auto& e : events) {
     if (e.type == ExecEventType::Enter) current = e.region;
-    if (e.type == ExecEventType::Recv) EXPECT_EQ(current, wait_region);
+    if (e.type == ExecEventType::Recv) {
+      EXPECT_EQ(current, wait_region);
+    }
   }
 }
 

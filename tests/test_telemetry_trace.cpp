@@ -128,8 +128,9 @@ void expect_structurally_valid(const Json& trace) {
     const std::int64_t tid = e.at("tid").as_int();
     const double ts = e.at("ts").as_number();
     auto it = last_ts.find(tid);
-    if (it != last_ts.end())
+    if (it != last_ts.end()) {
       EXPECT_GE(ts, it->second) << "ts regressed on tid " << tid;
+    }
     last_ts[tid] = ts;
     if (ph == "B") {
       ++depth[tid];

@@ -1,0 +1,156 @@
+// make_fuzz_corpus — generates the seed corpus for the fuzz harnesses.
+//
+// Usage: make_fuzz_corpus <outdir>
+//
+// Runs a miniature two-metahost experiment, encodes its real defs and
+// per-rank trace files, and writes them (plus a handful of structured
+// mutants: truncations, a bad magic, a future version) into one
+// subdirectory per harness:
+//
+//   <outdir>/trace_decode/   defs + trace bytes (also seeds sync_decode)
+//   <outdir>/sync_decode/    trace bytes rich in sync records
+//   <outdir>/config_json/    valid experiment configs
+//
+// Seeding with real encodings matters: libFuzzer mutates from these, so
+// it starts past the magic/version gate instead of spending its budget
+// rediscovering four magic bytes. Deterministic output (fixed seeds) —
+// CI caches the corpus keyed on the harness sources.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "tracing/epilog_io.hpp"
+#include "workloads/config.hpp"
+#include "workloads/experiment.hpp"
+
+namespace fs = std::filesystem;
+using namespace metascope;
+
+namespace {
+
+const char* kSeedConfig = R"({
+  "name": "fuzz-seed",
+  "seed": 7,
+  "topology": {
+    "metahosts": [
+      {"name": "A", "nodes": 1, "cpus_per_node": 2, "latency_us": 20},
+      {"name": "B", "nodes": 1, "cpus_per_node": 2, "latency_us": 30}
+    ],
+    "external": {"latency_us": 500, "bandwidth_gbps": 1.0},
+    "placement": [
+      {"metahost": 0, "nodes": 1, "procs_per_node": 2},
+      {"metahost": 1, "nodes": 1, "procs_per_node": 2}
+    ]
+  },
+  "workload": {"kind": "metatrace", "coupling_steps": 2,
+               "cg_iterations": 4, "field_mb_total": 8},
+  "sync": "hierarchical-two"
+})";
+
+const char* kClockbenchConfig = R"({
+  "name": "fuzz-clockbench",
+  "topology": {
+    "metahosts": [{"name": "A", "nodes": 1, "cpus_per_node": 2}],
+    "placement": [{"metahost": 0, "nodes": 1, "procs_per_node": 2}]
+  },
+  "workload": {"kind": "clockbench", "rounds": 16},
+  "sync": "flat-two"
+})";
+
+const char* kPatternConfig = R"({
+  "name": "fuzz-pattern",
+  "topology": {
+    "metahosts": [{"name": "A", "nodes": 1, "cpus_per_node": 2}],
+    "placement": [{"metahost": 0, "nodes": 1, "procs_per_node": 2}]
+  },
+  "workload": {"kind": "pattern-demo", "pattern": "late-sender"},
+  "sync": "none"
+})";
+
+void put(const fs::path& dir, const std::string& name,
+         const std::vector<std::uint8_t>& bytes) {
+  write_file_bytes((dir / name).string(), bytes);
+  std::printf("  %s (%zu bytes)\n", (dir / name).string().c_str(),
+              bytes.size());
+}
+
+void put_text(const fs::path& dir, const std::string& name,
+              const std::string& text) {
+  put(dir, name,
+      std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+/// Structured mutants of a valid encoding: the decode-path corners a
+/// random mutator takes longest to reach.
+void put_mutants(const fs::path& dir, const std::string& stem,
+                 const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > 1) {
+    put(dir, stem + "_trunc_half",
+        std::vector<std::uint8_t>(bytes.begin(),
+                                  bytes.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          bytes.size() / 2)));
+    put(dir, stem + "_trunc_1",
+        std::vector<std::uint8_t>(bytes.begin(), bytes.end() - 1));
+  }
+  if (bytes.size() >= 8) {
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    put(dir, stem + "_bad_magic", bad_magic);
+    auto bad_version = bytes;
+    bad_version[4] = 0x7F;  // far-future format version
+    put(dir, stem + "_bad_version", bad_version);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <outdir>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const fs::path out = argv[1];
+    const fs::path trace_dir = out / "trace_decode";
+    const fs::path sync_dir = out / "sync_decode";
+    const fs::path config_dir = out / "config_json";
+    fs::create_directories(trace_dir);
+    fs::create_directories(sync_dir);
+    fs::create_directories(config_dir);
+
+    workloads::ExperimentSpec spec =
+        workloads::parse_experiment(Json::parse(kSeedConfig));
+    auto data =
+        workloads::run_experiment(spec.topology, spec.program, spec.config);
+
+    const auto defs = tracing::encode_defs(data.traces);
+    put(trace_dir, "defs", defs);
+    put_mutants(trace_dir, "defs", defs);
+    for (const auto& t : data.traces.ranks) {
+      const auto bytes = tracing::encode_local_trace(t);
+      const std::string stem = "rank" + std::to_string(t.rank);
+      put(trace_dir, stem, bytes);
+      put(sync_dir, stem, bytes);
+      if (t.rank == 0) put_mutants(trace_dir, stem, bytes);
+    }
+    // An empty trace is valid too — seed the minimal accepting input.
+    tracing::LocalTrace empty;
+    empty.rank = 0;
+    put(trace_dir, "empty_trace", tracing::encode_local_trace(empty));
+
+    put_text(config_dir, "metatrace.json", kSeedConfig);
+    put_text(config_dir, "clockbench.json", kClockbenchConfig);
+    put_text(config_dir, "pattern.json", kPatternConfig);
+
+    std::printf("corpus written to %s\n", out.string().c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "make_fuzz_corpus: %s\n", e.what());
+    return 1;
+  }
+}
