@@ -19,7 +19,7 @@ int main() {
   bench::banner("Ablation A1", "serial vs parallel trace analysis");
 
   bench::BenchReport report("ablate_analyzer");
-  TextTable t({"coupling steps", "events", "trace bytes", "replay bytes",
+  TextTable t({"coupling steps", "events", "trace mem bytes", "replay bytes",
                "replay/trace", "serial [ms]", "parallel [ms]",
                "cubes equal"});
   for (int steps : {2, 4, 8}) {
@@ -42,11 +42,11 @@ int main() {
     const double parallel_ms =
         std::chrono::duration<double, std::milli>(t2 - t1).count();
     t.add_row({std::to_string(steps), std::to_string(p.stats.events),
-               std::to_string(p.stats.trace_bytes),
+               std::to_string(p.stats.trace_bytes_in_memory),
                std::to_string(p.stats.replay_bytes),
                TextTable::percent(
                    static_cast<double>(p.stats.replay_bytes) /
-                   static_cast<double>(p.stats.trace_bytes)),
+                   static_cast<double>(p.stats.trace_bytes_in_memory)),
                TextTable::fixed(serial_ms, 1),
                TextTable::fixed(parallel_ms, 1),
                s.cube.approx_equal(p.cube, 1e-12) ? "yes" : "NO"});
@@ -54,7 +54,8 @@ int main() {
                    Json{Json::Object{}}
                        .set("coupling_steps", Json(steps))
                        .set("events", Json(p.stats.events))
-                       .set("trace_bytes", Json(p.stats.trace_bytes))
+                       .set("trace_bytes_in_memory",
+                            Json(p.stats.trace_bytes_in_memory))
                        .set("replay_bytes", Json(p.stats.replay_bytes))
                        .set("serial_ms", Json(serial_ms))
                        .set("parallel_ms", Json(parallel_ms))

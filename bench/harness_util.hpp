@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/json.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace metascope::bench {
@@ -54,6 +55,27 @@ class BenchReport {
     Json doc{Json::Object{}};
     doc.set("bench", Json(name_));
     doc.set("values", values_);
+    // Trace-format compression, whenever this run touched the archive
+    // layer: encoded bytes written vs the resident size of the same
+    // traces (archive.bytes_on_disk / archive.bytes_in_memory), plus
+    // bytes pulled back in by reads. Ratio > 1 means the on-disk format
+    // is smaller than memory.
+    const auto on_disk =
+        telemetry::counter("archive.bytes_on_disk").value();
+    const auto in_memory =
+        telemetry::counter("archive.bytes_in_memory").value();
+    if (on_disk > 0 && in_memory > 0) {
+      Json comp{Json::Object{}};
+      comp.set("bytes_on_disk", Json(static_cast<std::size_t>(on_disk)));
+      comp.set("bytes_in_memory", Json(static_cast<std::size_t>(in_memory)));
+      comp.set("bytes_read",
+               Json(static_cast<std::size_t>(
+                   telemetry::counter("archive.read.bytes").value())));
+      comp.set("memory_to_disk_ratio",
+               Json(static_cast<double>(in_memory) /
+                    static_cast<double>(on_disk)));
+      doc.set("compression", std::move(comp));
+    }
     doc.set("telemetry", telemetry::snapshot_json());
     const std::string path = "BENCH_" + name_ + ".json";
     save_json_file(path, doc);

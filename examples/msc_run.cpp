@@ -6,7 +6,7 @@
 //           [--timeline] [--metrics out.json] [--progress]
 //           [--trace-out trace.json] [--sample-interval-ms n]
 //           [--patterns key[,key...]] [--list-patterns]
-//           [--archive-dir dir] [--permissive]
+//           [--archive-dir dir] [--permissive] [--trace-format n]
 //           [--log-level {debug,info,warn,error,off}]
 //
 // --archive-dir routes the traces through the on-disk archive layer:
@@ -17,7 +17,10 @@
 // permissive-recovery mode: undecodable ranks are quarantined and
 // reported instead of aborting the run (see DESIGN.md "Ingestion
 // hardening"). --permissive without --archive-dir is accepted and has
-// no effect (in-memory traces never need decoding).
+// no effect (in-memory traces never need decoding). --trace-format
+// selects the trace format version the archive writes (1–3; default is
+// the current columnar v3) — useful for producing legacy fixtures and
+// for measuring v2-vs-v3 archive sizes; readers auto-detect.
 //
 // --metrics writes the full telemetry snapshot (pipeline-stage spans,
 // counters, histograms, run metadata, and — when the sampler ran — the
@@ -63,6 +66,7 @@
 #include "telemetry/sampler.hpp"
 #include "telemetry/snapshot.hpp"
 #include "telemetry/trace_export.hpp"
+#include "tracing/epilog_io.hpp"
 #include "workloads/config.hpp"
 #include "workloads/experiment.hpp"
 
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   int sample_interval_ms = -1;  // -1 = not given on the CLI
   std::string archive_dir;
+  int trace_format = 0;  // 0 = current (tracing::kTraceFormatVersion)
   bool permissive = false;
   bool want_profile = false;
   bool want_amortize = false;
@@ -170,6 +175,10 @@ int main(int argc, char** argv) {
       archive_dir = argv[++i];
     } else if (std::strncmp(argv[i], "--archive-dir=", 14) == 0) {
       archive_dir = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 && i + 1 < argc) {
+      trace_format = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      trace_format = std::atoi(argv[i] + 15);
     } else if (std::strcmp(argv[i], "--permissive") == 0) {
       permissive = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -183,6 +192,17 @@ int main(int argc, char** argv) {
     } else {
       config_path = argv[i];
     }
+  }
+
+  if (trace_format != 0 &&
+      (trace_format < static_cast<int>(tracing::kMinTraceFormatVersion) ||
+       trace_format > static_cast<int>(tracing::kTraceFormatVersion))) {
+    std::fprintf(stderr,
+                 "msc_run: --trace-format %d out of range (supported: "
+                 "%u..%u)\n",
+                 trace_format, tracing::kMinTraceFormatVersion,
+                 tracing::kTraceFormatVersion);
+    return 1;
   }
 
   try {
@@ -240,7 +260,9 @@ int main(int argc, char** argv) {
           archive_dir, spec.topology.num_metahosts());
       const auto arch =
           archive::ExperimentArchive::create(spec.topology, layout, spec.name);
-      arch.write_traces(spec.topology, data.traces);
+      archive::WriteOptions wopts;
+      wopts.format_version = static_cast<std::uint32_t>(trace_format);
+      arch.write_traces(spec.topology, data.traces, wopts);
       archive::ReadOptions ropts;
       ropts.permissive = permissive;
       archive::ReadReport rep;

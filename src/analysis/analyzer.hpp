@@ -39,11 +39,14 @@ struct AnalysisStats {
   std::size_t messages{0};
   std::size_t collective_instances{0};
   /// Bytes moved between analysis workers during the replay (parallel
-  /// analyzer only). Compare against trace_bytes: the paper's claim is
-  /// that this is much smaller than shipping traces around.
+  /// analyzer only). Compare against trace_bytes_in_memory: the paper's
+  /// claim is that this is much smaller than shipping traces around.
   std::size_t replay_bytes{0};
-  /// Total encoded size of all local traces.
-  std::size_t trace_bytes{0};
+  /// Resident size of all local traces (tracing::in_memory_bytes) —
+  /// deliberately NOT the encoded on-disk size, which depends on the
+  /// trace format version and is accounted separately by the archive
+  /// layer (telemetry counters archive.bytes_on_disk / .read.bytes).
+  std::size_t trace_bytes_in_memory{0};
   std::size_t events{0};
 
   // Replay-scheduler counters (parallel analyzer only; zero for serial).

@@ -5,7 +5,6 @@
 
 #include "common/error.hpp"
 #include "telemetry/metrics.hpp"
-#include "tracing/epilog_io.hpp"
 
 namespace metascope::analysis {
 
@@ -64,10 +63,10 @@ std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
 void fill_trace_stats(const tracing::TraceCollection& tc,
                       AnalysisStats& stats) {
   stats.events = tc.total_events();
-  for (const auto& t : tc.ranks)
-    stats.trace_bytes += tracing::encode_local_trace(t).size();
+  stats.trace_bytes_in_memory = tracing::in_memory_bytes(tc);
   telemetry::counter("analysis.events").add(stats.events);
-  telemetry::counter("analysis.trace_bytes").add(stats.trace_bytes);
+  telemetry::counter("analysis.trace_bytes_in_memory")
+      .add(stats.trace_bytes_in_memory);
 }
 
 }  // namespace metascope::analysis

@@ -56,7 +56,7 @@ std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
                                             const PreparedTrace& prep);
 
 /// Fills the trace-volume stats both analyzers report (total events,
-/// encoded trace bytes).
+/// resident trace bytes — see tracing::in_memory_bytes).
 void fill_trace_stats(const tracing::TraceCollection& tc,
                       AnalysisStats& stats);
 

@@ -1,6 +1,7 @@
 #include "archive/archive.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <mutex>
@@ -206,15 +207,21 @@ std::vector<std::string> ExperimentArchive::partial_dirs() const {
 
 void ExperimentArchive::write_traces(const simnet::Topology& topo,
                                      const tracing::TraceCollection& tc,
-                                     std::size_t max_workers) const {
+                                     const WriteOptions& opts) const {
   MSC_CHECK(tc.num_ranks() == topo.num_ranks(),
             "collection/topology rank mismatch");
+  const std::uint32_t version = opts.format_version != 0
+                                    ? opts.format_version
+                                    : tracing::kTraceFormatVersion;
   telemetry::ScopedSpan span("archive_write");
   // Definitions + manifest go into every partial archive; each rank's
   // trace goes only where that rank can write.
-  const auto defs_bytes = tracing::encode_defs(tc);
-  for (const std::string& dir : partial_dirs())
+  std::atomic<std::uint64_t> bytes_on_disk{0};
+  const auto defs_bytes = tracing::encode_defs(tc, version);
+  for (const std::string& dir : partial_dirs()) {
     write_file_bytes(dir + "/" + tracing::defs_filename(), defs_bytes);
+    bytes_on_disk.fetch_add(defs_bytes.size(), std::memory_order_relaxed);
+  }
 
   // One task per rank: encode + write its own trace file. Files are
   // distinct paths, so the fan-out never contends on a target.
@@ -222,22 +229,26 @@ void ExperimentArchive::write_traces(const simnet::Topology& topo,
       "archive_write",
       telemetry::RecordingObserver::fanout_stride(tc.ranks.size()));
   const auto pst = parallel_for(
-      tc.ranks.size(), max_workers,
+      tc.ranks.size(), opts.max_workers,
       [&](std::size_t i) {
         const auto& t = tc.ranks[i];
         const std::string& dir = dir_of(topo.metahost_of(t.rank));
-        write_file_bytes(dir + "/" + tracing::trace_filename(t.rank),
-                         tracing::encode_local_trace(t));
+        const auto bytes = tracing::encode_local_trace(t, version);
+        write_file_bytes(dir + "/" + tracing::trace_filename(t.rank), bytes);
+        bytes_on_disk.fetch_add(bytes.size(), std::memory_order_relaxed);
       },
       &rec_obs);
   telemetry::record_stage_parallelism("archive_write", pst);
+  telemetry::counter("archive.bytes_on_disk")
+      .add(bytes_on_disk.load(std::memory_order_relaxed));
+  telemetry::counter("archive.bytes_in_memory")
+      .add(tracing::in_memory_bytes(tc));
 
   for (int m = 0; m < topo.num_metahosts(); ++m) {
     const MetahostId mh{m};
     Json manifest;
     manifest.set("experiment", name_);
-    manifest.set("format_version",
-                 static_cast<int>(tracing::kTraceFormatVersion));
+    manifest.set("format_version", static_cast<int>(version));
     manifest.set("metahost_id", m);
     Json ranks;
     for (Rank r :
@@ -248,6 +259,14 @@ void ExperimentArchive::write_traces(const simnet::Topology& topo,
     save_json_file(dir_of(mh) + "/manifest." + std::to_string(m) + ".json",
                    manifest);
   }
+}
+
+void ExperimentArchive::write_traces(const simnet::Topology& topo,
+                                     const tracing::TraceCollection& tc,
+                                     std::size_t max_workers) const {
+  WriteOptions opts;
+  opts.max_workers = max_workers;
+  write_traces(topo, tc, opts);
 }
 
 std::vector<Rank> ReadReport::quarantined_ranks() const {
@@ -266,13 +285,16 @@ tracing::TraceCollection ExperimentArchive::read_traces(
   // Definitions are replicated into every partial archive; in permissive
   // mode a corrupt copy just means trying the next replica.
   tracing::TraceCollection tc;
+  std::atomic<std::uint64_t> bytes_read{0};
   {
     const auto dirs = partial_dirs();
     bool have_defs = false;
     for (std::size_t i = 0; i < dirs.size(); ++i) {
       const std::string path = dirs[i] + "/" + tracing::defs_filename();
       try {
-        tc = tracing::decode_defs(read_file_bytes(path), path);
+        const MappedFile f = MappedFile::open(path, opts.use_mmap);
+        tc = tracing::decode_defs(f.data(), f.size(), path);
+        bytes_read.fetch_add(f.size(), std::memory_order_relaxed);
         have_defs = true;
         break;
       } catch (const Error&) {
@@ -281,6 +303,9 @@ tracing::TraceCollection ExperimentArchive::read_traces(
     }
     MSC_ASSERT(have_defs, "defs decode fell through");
   }
+  // The defs header names the rank count, so each rank's Trace slot is
+  // pre-sized before any trace file is opened; the per-rank decoders
+  // then fill their slots straight from the mappings.
 
   // Flatten (metahost, rank) so each task reads + decodes one file into
   // its own rank slot.
@@ -300,8 +325,11 @@ tracing::TraceCollection ExperimentArchive::read_traces(
         const std::string path =
             dir_by_metahost_[m] + "/" + tracing::trace_filename(r);
         try {
-          auto trace =
-              tracing::decode_local_trace(read_file_bytes(path), path);
+          // Zero-copy: decode straight out of the mapping (or out of the
+          // owned-buffer fallback — identical bytes either way).
+          const MappedFile f = MappedFile::open(path, opts.use_mmap);
+          auto trace = tracing::decode_local_trace(f.data(), f.size(), path);
+          bytes_read.fetch_add(f.size(), std::memory_order_relaxed);
           if (trace.rank != r)
             throw Error(ErrorCode::Corrupt,
                         "trace file rank mismatch (file claims rank " +
@@ -320,6 +348,8 @@ tracing::TraceCollection ExperimentArchive::read_traces(
       },
       &rec_obs);
   telemetry::record_stage_parallelism("archive_read", pst);
+  telemetry::counter("archive.read.bytes")
+      .add(bytes_read.load(std::memory_order_relaxed));
 
   if (!quarantined.empty()) {
     // Deterministic report order regardless of reader interleaving.
@@ -356,7 +386,8 @@ tracing::LocalTrace ExperimentArchive::read_local_trace(
   const std::string path =
       dir_of(topo.metahost_of(r)) + "/" + tracing::trace_filename(r);
   try {
-    return tracing::decode_local_trace(read_file_bytes(path), path);
+    const MappedFile f = MappedFile::open(path);
+    return tracing::decode_local_trace(f.data(), f.size(), path);
   } catch (const Error& e) {
     throw e.with_context(ErrorContext{path, r, -1});
   }
@@ -364,7 +395,8 @@ tracing::LocalTrace ExperimentArchive::read_local_trace(
 
 tracing::TraceCollection ExperimentArchive::read_defs(MetahostId m) const {
   const std::string path = dir_of(m) + "/" + tracing::defs_filename();
-  return tracing::decode_defs(read_file_bytes(path), path);
+  const MappedFile f = MappedFile::open(path);
+  return tracing::decode_defs(f.data(), f.size(), path);
 }
 
 }  // namespace metascope::archive

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,22 @@ struct ReadOptions {
   /// Per-rank reads fan out on up to this many threads (0 = hardware
   /// concurrency). The result is identical for any count.
   std::size_t max_workers{0};
+  /// Decode each trace file straight out of a memory mapping (the
+  /// zero-copy path) instead of copying it into a heap buffer first.
+  /// The decoded traces are byte-identical either way (tests assert the
+  /// parity); platforms without mmap silently use the copy path.
+  bool use_mmap{true};
+};
+
+/// Knobs for write_traces (the plain max_workers overload delegates
+/// here with defaults).
+struct WriteOptions {
+  /// Like ReadOptions::max_workers.
+  std::size_t max_workers{0};
+  /// Trace format version to write (see tracing/epilog_io.hpp). Older
+  /// versions stay writable so cross-version fixtures and migration
+  /// tests can produce them; readers accept every version.
+  std::uint32_t format_version{0};  // 0 = kTraceFormatVersion
 };
 
 /// One quarantined rank and why.
@@ -131,7 +148,14 @@ class ExperimentArchive {
   /// partial archive. The per-rank encodes + writes are independent
   /// (distinct files), so they fan out on up to `max_workers` threads
   /// (0 = hardware concurrency); the bytes written are identical for
-  /// any count.
+  /// any count. Telemetry: "archive.bytes_on_disk" accumulates the
+  /// encoded bytes written (defs replicas + every trace file) and
+  /// "archive.bytes_in_memory" the resident size of the collection —
+  /// their ratio is the trace-format compression ratio the bench
+  /// sidecars report.
+  void write_traces(const simnet::Topology& topo,
+                    const tracing::TraceCollection& tc,
+                    const WriteOptions& opts) const;
   void write_traces(const simnet::Topology& topo,
                     const tracing::TraceCollection& tc,
                     std::size_t max_workers = 0) const;

@@ -6,6 +6,13 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace metascope {
 
 void BufWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
@@ -237,6 +244,27 @@ void Decoder::expect_version(std::uint32_t expected, const char* what) {
   }
 }
 
+std::uint32_t Decoder::expect_version_in(std::uint32_t lo, std::uint32_t hi,
+                                         const char* what) {
+  const std::size_t at = pos_;
+  const std::uint32_t got = get_u32();
+  if (got < lo || got > hi) {
+    pos_ = at;
+    fail(ErrorCode::VersionMismatch,
+         std::string("unsupported ") + what + " format version " +
+             std::to_string(got) + " (this build reads versions " +
+             std::to_string(lo) + ".." + std::to_string(hi) + ")");
+  }
+  return got;
+}
+
+const std::uint8_t* Decoder::get_raw(std::size_t n, const char* what) {
+  need(n, what);
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
 void Decoder::require_end(const char* what) {
   if (pos_ != size_)
     fail(ErrorCode::Corrupt, std::string("trailing bytes in ") + what + " (" +
@@ -278,6 +306,83 @@ std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   if (!in) throw Error(ErrorCode::Io, "read failed",
                        ErrorContext{path, -1, -1});
   return bytes;
+}
+
+// --- MappedFile ----------------------------------------------------------
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    data_ = other.data_;
+    size_ = other.size_;
+    map_ = other.map_;
+    map_len_ = other.map_len_;
+    fallback_ = std::move(other.fallback_);
+    if (!fallback_.empty()) data_ = fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.map_ = nullptr;
+    other.map_len_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+  map_ = nullptr;
+  map_len_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile MappedFile::open(const std::string& path, bool allow_mmap) {
+  MappedFile f;
+#if defined(__unix__) || defined(__APPLE__)
+  if (allow_mmap) {
+    errno = 0;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+      throw Error(ErrorCode::Io,
+                  std::string("cannot open for read (") +
+                      std::strerror(errno) + ")",
+                  ErrorContext{path, -1, -1});
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      const std::string why =
+          errno ? std::strerror(errno) : "not a regular file";
+      ::close(fd);
+      throw Error(ErrorCode::Io, "cannot stat for read (" + why + ")",
+                  ErrorContext{path, -1, -1});
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      // mmap rejects zero-length mappings; an empty file is a valid
+      // (empty) view that simply fails decoding with Truncated later.
+      ::close(fd);
+      return f;
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (map != MAP_FAILED) {
+#if defined(POSIX_MADV_SEQUENTIAL)
+      ::posix_madvise(map, size, POSIX_MADV_SEQUENTIAL);
+#endif
+      f.map_ = map;
+      f.map_len_ = size;
+      f.data_ = static_cast<const std::uint8_t*>(map);
+      f.size_ = size;
+      return f;
+    }
+    // Mapping refused (e.g. a file system without mmap support): fall
+    // through to the owned-buffer path.
+  }
+#endif
+  f.fallback_ = read_file_bytes(path);
+  f.data_ = f.fallback_.data();
+  f.size_ = f.fallback_.size();
+  return f;
 }
 
 }  // namespace metascope

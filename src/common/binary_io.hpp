@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -118,6 +119,18 @@ class Decoder {
   /// VersionMismatch naming both versions.
   void expect_magic(std::uint32_t expected, const char* what);
   void expect_version(std::uint32_t expected, const char* what);
+  /// Accepts any version in [lo, hi] and returns it; anything else →
+  /// VersionMismatch naming the supported range. Decode paths that keep
+  /// older format versions readable dispatch on the returned value.
+  std::uint32_t expect_version_in(std::uint32_t lo, std::uint32_t hi,
+                                  const char* what);
+
+  /// Borrowed-buffer access: bounds-checks and consumes n bytes, and
+  /// returns a pointer into the underlying buffer (valid for the
+  /// buffer's lifetime — with a MappedFile, until it is unmapped). The
+  /// zero-copy read path decodes packed sections straight out of the
+  /// mapping through this.
+  const std::uint8_t* get_raw(std::size_t n, const char* what);
 
   /// Throws Corrupt if any undecoded bytes remain.
   void require_end(const char* what);
@@ -146,5 +159,42 @@ class Decoder {
 void write_file_bytes(const std::string& path,
                       const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// A read-only view of a whole file, memory-mapped when the platform
+/// supports it (POSIX mmap) and read into an owned buffer otherwise.
+/// The zero-copy archive read path decodes trace files straight out of
+/// the mapping instead of copying them through read_file_bytes first.
+///
+/// Zero-length files yield an empty view without mapping (mmap rejects
+/// length 0). Decoding results are byte-for-byte identical whichever
+/// path backs the view — tests assert the parity. Move-only; the
+/// mapping is released on destruction.
+class MappedFile {
+ public:
+  /// Opens `path`; throws Error (ErrorCode::Io, path attached) if it
+  /// cannot be opened or read. With allow_mmap = false (or on platforms
+  /// without mmap) the file is read into an owned buffer instead.
+  static MappedFile open(const std::string& path, bool allow_mmap = true);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// True when backed by an actual mapping (false for the owned-buffer
+  /// fallback and for empty files).
+  [[nodiscard]] bool mapped() const { return map_ != nullptr; }
+
+ private:
+  const std::uint8_t* data_{nullptr};
+  std::size_t size_{0};
+  void* map_{nullptr};
+  std::size_t map_len_{0};
+  std::vector<std::uint8_t> fallback_;
+};
 
 }  // namespace metascope

@@ -1,0 +1,75 @@
+// Per-column codecs for the columnar trace format (v3).
+//
+// Two column kinds:
+//
+//  - Integer columns (ranks, tags, region/comm ids): zigzag-delta
+//    varints. Event streams are dominated by near-constant or slowly
+//    counting integer sequences, so the common delta is 0 or ±1 — one
+//    byte per value.
+//
+//  - Double columns (timestamps, byte counts): a small self-describing
+//    container whose first byte selects the encoding the *encoder* found
+//    smallest for this column. Every mode is bit-lossless — the decoded
+//    doubles are bit-identical to what was encoded (NaN payloads, -0.0
+//    and all) — which the severity-cube reproducibility contract
+//    requires:
+//      0  raw         little-endian f64 per value (the ceiling)
+//      1  xor         byte-aligned Gorilla: XOR each value's bit pattern
+//                     with the previous one, store a lead byte giving the
+//                     (leading-zero-bytes, meaningful-bytes) window plus
+//                     the meaningful bytes; identical consecutive values
+//                     cost one byte
+//      2  scaled Δ    the column proved to be an exact multiple of one
+//                     scale s from a fixed probe table (the encoder
+//                     verifies fl(k·s) reproduces every bit pattern
+//                     before choosing this mode): store the one-byte
+//                     table index of s plus zigzag varints of Δk —
+//                     quantized timestamps and integral byte counts
+//                     land here
+//      3  scaled ΔΔ   like 2 but second-order (delta-of-delta of k);
+//                     near-periodic timestamp streams collapse to one
+//                     byte per value
+//      4  scaled Δ+r  like 2 but lossless for *any* finite column: after
+//                     the scale index comes a residual bit width W and
+//                     after the Δk varints a bit-packed stream of n
+//                     zigzagged residuals (W bits each, LSB-first) — the
+//                     signed distance (in a total-order ULP domain over
+//                     the 64-bit patterns) from fl(k·s) to the true
+//                     value. Engages when the data is only near a grid —
+//                     e.g. granularity-quantized timestamps nudged
+//                     off-grid by a monotonicity fix-up, where the
+//                     residual is 0/±1 ULP and W = 2
+//      5  scaled ΔΔ+r like 4 but second-order in k
+//
+// Encoders write only the payload; the caller frames each column with a
+// byte-length prefix so a decoder can bounds-check the block and report
+// truncation/mismatch with exact offsets. Decoders consume from the
+// bounds-checked Decoder facade and throw taxonomy-typed Errors on bad
+// lead bytes or malformed varints; they never crash on garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.hpp"
+
+namespace metascope::colcodec {
+
+/// Zigzag-delta varint encoding of an integer column (first value is a
+/// delta from 0). Appends the payload to `w`.
+void encode_int_column(BufWriter& w, const std::int64_t* v, std::size_t n);
+
+/// Decodes exactly `n` integers appended by encode_int_column.
+void decode_int_column(Decoder& d, std::int64_t* out, std::size_t n);
+
+/// Encodes a double column with the smallest of the mode payloads
+/// described above (mode byte + payload appended to `w`; nothing at all
+/// for n == 0).
+void encode_double_column(BufWriter& w, const double* v, std::size_t n);
+
+/// Decodes exactly `n` doubles appended by encode_double_column,
+/// bit-identical to the encoder's input.
+void decode_double_column(Decoder& d, double* out, std::size_t n);
+
+}  // namespace metascope::colcodec

@@ -1,8 +1,10 @@
 #include "tracing/epilog_io.hpp"
 
+#include <array>
+
 #include "common/binary_io.hpp"
+#include "common/column_codec.hpp"
 #include "common/error.hpp"
-#include "telemetry/metrics.hpp"
 
 namespace metascope::tracing {
 
@@ -11,21 +13,430 @@ constexpr std::uint32_t kDefsMagic = 0x4453434DU;   // "MCSD"
 constexpr std::uint32_t kTraceMagic = 0x5453434DU;  // "MCST"
 
 // Cheapest possible encodings, used to validate header counts against
-// the bytes actually present before reserving anything: a sync record is
-// >= 26 bytes (u8 + 1-byte svarint + 3 f64), an event >= 9 (u8 type +
-// f64 time); defs-table entries bottom out at their field prefixes.
+// the bytes actually present before reserving anything: a row-wise
+// (v1/v2) sync record is >= 26 bytes (u8 + 1-byte svarint + 3 f64) and
+// a columnar (v3) one contributes at least one byte to the phase
+// column; a row-wise (v1/v2) event is >= 9 (u8 type + f64 time) and a
+// columnar (v3) one at least one byte to the time column; defs-table
+// entries bottom out at their field prefixes.
 constexpr std::size_t kMinSyncRecordBytes = 26;
+constexpr std::size_t kMinSyncRecordBytesV3 = 1;
 constexpr std::size_t kMinEventBytes = 9;
+constexpr std::size_t kMinEventBytesV3 = 1;
 constexpr std::size_t kMinRegionBytes = 1;    // string length prefix
 constexpr std::size_t kMinMetahostBytes = 2;  // id + name prefix
 constexpr std::size_t kMinLocationBytes = 4;  // four svarints
 constexpr std::size_t kMinCommBytes = 3;      // id + name prefix + count
+
+constexpr std::size_t kNumEventTypes = 5;
+
+void check_encode_version(std::uint32_t version) {
+  if (version < kMinTraceFormatVersion || version > kTraceFormatVersion)
+    throw Error(ErrorCode::VersionMismatch,
+                "cannot encode trace format version " +
+                    std::to_string(version) + " (supported: " +
+                    std::to_string(kMinTraceFormatVersion) + ".." +
+                    std::to_string(kTraceFormatVersion) + ")");
+}
+
+// ---- sync records (row layout, v1/v2) -------------------------------
+
+void encode_sync_rows(BufWriter& w, const std::vector<OffsetRecord>& sync) {
+  for (const auto& s : sync) {
+    w.put_u8(static_cast<std::uint8_t>(s.phase));
+    w.put_svarint(s.ref_rank);
+    w.put_f64(s.local_mid);
+    w.put_f64(s.offset);
+    w.put_f64(s.error_bound);
+  }
+}
+
+void decode_sync_rows(Decoder& d, LocalTrace& t, std::uint64_t nsync) {
+  t.sync.reserve(static_cast<std::size_t>(nsync));
+  for (std::uint64_t i = 0; i < nsync; ++i) {
+    OffsetRecord s;
+    s.phase = d.get_u8();
+    s.ref_rank = static_cast<Rank>(d.get_svarint());
+    s.local_mid = d.get_f64();
+    s.offset = d.get_f64();
+    s.error_bound = d.get_f64();
+    t.sync.push_back(s);
+  }
+}
+
+// ---- row-wise events (v1/v2) ----------------------------------------
+
+void encode_event_rows(BufWriter& w, const std::vector<Event>& events) {
+  for (const auto& e : events) {
+    w.put_u8(static_cast<std::uint8_t>(e.type));
+    w.put_f64(e.time);
+    switch (e.type) {
+      case EventType::Enter:
+        w.put_svarint(e.region.get());
+        break;
+      case EventType::Exit:
+        break;
+      case EventType::Send:
+      case EventType::Recv:
+        w.put_svarint(e.peer);
+        w.put_svarint(e.tag);
+        w.put_f64(e.bytes);
+        w.put_svarint(e.comm.get());
+        break;
+      case EventType::CollExit:
+        w.put_svarint(e.region.get());
+        w.put_svarint(e.comm.get());
+        w.put_svarint(e.root);
+        w.put_f64(e.bytes);
+        w.put_f64(e.sent_bytes);
+        w.put_f64(e.recvd_bytes);
+        break;
+    }
+  }
+}
+
+void decode_event_rows(Decoder& d, LocalTrace& t, std::uint64_t nev) {
+  t.events.reserve(static_cast<std::size_t>(nev));
+  for (std::uint64_t i = 0; i < nev; ++i) {
+    Event e;
+    const std::uint8_t type = d.get_u8();
+    e.time = d.get_f64();
+    switch (static_cast<EventType>(type)) {
+      case EventType::Enter:
+        e.type = EventType::Enter;
+        e.region = RegionId{static_cast<int>(d.get_svarint())};
+        break;
+      case EventType::Exit:
+        e.type = EventType::Exit;
+        break;
+      case EventType::Send:
+      case EventType::Recv:
+        e.type = static_cast<EventType>(type);
+        e.peer = static_cast<Rank>(d.get_svarint());
+        e.tag = static_cast<int>(d.get_svarint());
+        e.bytes = d.get_f64();
+        e.comm = CommId{static_cast<int>(d.get_svarint())};
+        break;
+      case EventType::CollExit:
+        e.type = EventType::CollExit;
+        e.region = RegionId{static_cast<int>(d.get_svarint())};
+        e.comm = CommId{static_cast<int>(d.get_svarint())};
+        e.root = static_cast<Rank>(d.get_svarint());
+        e.bytes = d.get_f64();
+        e.sent_bytes = d.get_f64();
+        e.recvd_bytes = d.get_f64();
+        break;
+      default:
+        d.fail(ErrorCode::Corrupt, "corrupt trace: unknown event type " +
+                                       std::to_string(static_cast<int>(type)));
+    }
+    t.events.push_back(e);
+  }
+}
+
+// ---- columnar events (v3) -------------------------------------------
+//
+// Layout after the sync columns (see DESIGN.md §5e):
+//   - nibble-packed type stream: ceil(nevents/2) bytes, low nibble =
+//     even-index event, high nibble = odd-index event; a trailing unused
+//     high nibble must be zero;
+//   - framed columns in fixed order, each a varint byte-length followed
+//     by that many payload bytes. A column whose row count is zero is
+//     omitted entirely (the counts in the header make this unambiguous).
+// Column order: time (all events, stream order); Enter.region;
+// Send.peer/tag/bytes/comm; Recv.peer/tag/bytes/comm;
+// CollExit.region/comm/root/bytes/sent/recvd.
+
+/// Per-type field vectors gathered from (encode) or destined for
+/// (decode) the interleaved event stream.
+struct EventColumns {
+  std::vector<double> time;  // all events, stream order
+  std::vector<std::int64_t> enter_region;
+  std::vector<std::int64_t> send_peer, send_tag, send_comm;
+  std::vector<double> send_bytes;
+  std::vector<std::int64_t> recv_peer, recv_tag, recv_comm;
+  std::vector<double> recv_bytes;
+  std::vector<std::int64_t> coll_region, coll_comm, coll_root;
+  std::vector<double> coll_bytes, coll_sent, coll_recvd;
+};
+
+template <typename EncodeFn>
+void put_framed_column(BufWriter& w, EncodeFn&& encode_fn) {
+  BufWriter col;
+  encode_fn(col);
+  w.put_varint(col.size());
+  if (col.size() != 0) w.put_bytes(col.data().data(), col.size());
+}
+
+void put_int_column(BufWriter& w, const std::vector<std::int64_t>& v) {
+  if (v.empty()) return;
+  put_framed_column(
+      w, [&](BufWriter& c) { colcodec::encode_int_column(c, v.data(), v.size()); });
+}
+
+void put_double_column(BufWriter& w, const std::vector<double>& v) {
+  if (v.empty()) return;
+  put_framed_column(w, [&](BufWriter& c) {
+    colcodec::encode_double_column(c, v.data(), v.size());
+  });
+}
+
+/// Reads a column frame's byte-length prefix and returns the position
+/// at which the column must end. Truncated if the declared length
+/// overruns the file.
+std::size_t begin_column(Decoder& d, const char* what) {
+  const std::uint64_t len = d.get_varint();
+  if (len > d.remaining())
+    d.fail(ErrorCode::Truncated,
+           std::string("truncated ") + what + " column: frame declares " +
+               std::to_string(len) + " bytes but only " +
+               std::to_string(d.remaining()) + " remain");
+  return d.pos() + static_cast<std::size_t>(len);
+}
+
+/// Corrupt if the codec consumed a different number of bytes than the
+/// frame declared (a column-length/count mismatch).
+void end_column(const Decoder& d, const char* what, std::size_t end) {
+  if (d.pos() != end)
+    d.fail(ErrorCode::Corrupt,
+           std::string("column length mismatch for ") + what +
+               " column: codec consumed through byte " +
+               std::to_string(d.pos()) + " but the frame ends at byte " +
+               std::to_string(end));
+}
+
+void get_int_column(Decoder& d, std::vector<std::int64_t>& out,
+                    std::size_t n, const char* what) {
+  out.resize(n);
+  if (n == 0) return;
+  const std::size_t end = begin_column(d, what);
+  colcodec::decode_int_column(d, out.data(), n);
+  end_column(d, what, end);
+}
+
+void get_double_column(Decoder& d, std::vector<double>& out, std::size_t n,
+                       const char* what) {
+  out.resize(n);
+  if (n == 0) return;
+  const std::size_t end = begin_column(d, what);
+  colcodec::decode_double_column(d, out.data(), n);
+  end_column(d, what, end);
+}
+
+// ---- columnar sync records (v3) --------------------------------------
+//
+// Five framed columns in field order (phase, ref_rank, local_mid,
+// offset, error_bound), same framing as the event columns below. All
+// columns are omitted when the rank recorded no sync records.
+
+void encode_sync_v3(BufWriter& w, const std::vector<OffsetRecord>& sync) {
+  const std::size_t n = sync.size();
+  if (n == 0) return;
+  std::vector<std::int64_t> phase(n), ref_rank(n);
+  std::vector<double> local_mid(n), offset(n), error_bound(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    phase[i] = sync[i].phase;
+    ref_rank[i] = sync[i].ref_rank;
+    local_mid[i] = sync[i].local_mid;
+    offset[i] = sync[i].offset;
+    error_bound[i] = sync[i].error_bound;
+  }
+  put_int_column(w, phase);
+  put_int_column(w, ref_rank);
+  put_double_column(w, local_mid);
+  put_double_column(w, offset);
+  put_double_column(w, error_bound);
+}
+
+void decode_sync_v3(Decoder& d, LocalTrace& t, std::uint64_t nsync) {
+  const auto n = static_cast<std::size_t>(nsync);
+  std::vector<std::int64_t> phase, ref_rank;
+  std::vector<double> local_mid, offset, error_bound;
+  get_int_column(d, phase, n, "sync.phase");
+  get_int_column(d, ref_rank, n, "sync.ref_rank");
+  get_double_column(d, local_mid, n, "sync.local_mid");
+  get_double_column(d, offset, n, "sync.offset");
+  get_double_column(d, error_bound, n, "sync.error_bound");
+  t.sync.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OffsetRecord& s = t.sync[i];
+    s.phase = static_cast<int>(phase[i]);
+    s.ref_rank = static_cast<Rank>(ref_rank[i]);
+    s.local_mid = local_mid[i];
+    s.offset = offset[i];
+    s.error_bound = error_bound[i];
+  }
+}
+
+void encode_events_v3(BufWriter& w, const std::vector<Event>& events,
+                      const std::array<std::uint64_t, kNumEventTypes>& counts) {
+  EventColumns c;
+  c.time.reserve(events.size());
+  c.enter_region.reserve(static_cast<std::size_t>(counts[0]));
+  c.send_peer.reserve(static_cast<std::size_t>(counts[2]));
+  c.recv_peer.reserve(static_cast<std::size_t>(counts[3]));
+  c.coll_region.reserve(static_cast<std::size_t>(counts[4]));
+  for (const auto& e : events) {
+    c.time.push_back(e.time);
+    switch (e.type) {
+      case EventType::Enter:
+        c.enter_region.push_back(e.region.get());
+        break;
+      case EventType::Exit:
+        break;
+      case EventType::Send:
+        c.send_peer.push_back(e.peer);
+        c.send_tag.push_back(e.tag);
+        c.send_bytes.push_back(e.bytes);
+        c.send_comm.push_back(e.comm.get());
+        break;
+      case EventType::Recv:
+        c.recv_peer.push_back(e.peer);
+        c.recv_tag.push_back(e.tag);
+        c.recv_bytes.push_back(e.bytes);
+        c.recv_comm.push_back(e.comm.get());
+        break;
+      case EventType::CollExit:
+        c.coll_region.push_back(e.region.get());
+        c.coll_comm.push_back(e.comm.get());
+        c.coll_root.push_back(e.root);
+        c.coll_bytes.push_back(e.bytes);
+        c.coll_sent.push_back(e.sent_bytes);
+        c.coll_recvd.push_back(e.recvd_bytes);
+        break;
+    }
+  }
+
+  // Nibble-packed type stream, low nibble first.
+  for (std::size_t i = 0; i < events.size(); i += 2) {
+    std::uint8_t b = static_cast<std::uint8_t>(events[i].type);
+    if (i + 1 < events.size())
+      b |= static_cast<std::uint8_t>(
+          static_cast<std::uint8_t>(events[i + 1].type) << 4);
+    w.put_u8(b);
+  }
+
+  put_double_column(w, c.time);
+  put_int_column(w, c.enter_region);
+  put_int_column(w, c.send_peer);
+  put_int_column(w, c.send_tag);
+  put_double_column(w, c.send_bytes);
+  put_int_column(w, c.send_comm);
+  put_int_column(w, c.recv_peer);
+  put_int_column(w, c.recv_tag);
+  put_double_column(w, c.recv_bytes);
+  put_int_column(w, c.recv_comm);
+  put_int_column(w, c.coll_region);
+  put_int_column(w, c.coll_comm);
+  put_int_column(w, c.coll_root);
+  put_double_column(w, c.coll_bytes);
+  put_double_column(w, c.coll_sent);
+  put_double_column(w, c.coll_recvd);
+}
+
+void decode_events_v3(Decoder& d, LocalTrace& t, std::uint64_t nev,
+                      const std::array<std::uint64_t, kNumEventTypes>& counts) {
+  // Type stream first: every nibble must name a known event type, the
+  // per-type tallies must reproduce the header's counts, and an odd
+  // stream's trailing high nibble must be zero.
+  const std::size_t nbytes = static_cast<std::size_t>((nev + 1) / 2);
+  const std::uint8_t* nibbles = d.get_raw(nbytes, "event type stream");
+  std::array<std::uint64_t, kNumEventTypes> seen{};
+  std::vector<std::uint8_t> types(static_cast<std::size_t>(nev));
+  for (std::uint64_t i = 0; i < nev; ++i) {
+    const std::uint8_t ty = (i % 2 == 0)
+                                ? static_cast<std::uint8_t>(nibbles[i / 2] & 0xF)
+                                : static_cast<std::uint8_t>(nibbles[i / 2] >> 4);
+    if (ty >= kNumEventTypes)
+      d.fail(ErrorCode::Corrupt, "corrupt trace: unknown event type " +
+                                     std::to_string(static_cast<int>(ty)) +
+                                     " in type stream at event " +
+                                     std::to_string(i));
+    ++seen[ty];
+    types[static_cast<std::size_t>(i)] = ty;
+  }
+  if (nev % 2 != 0 && (nibbles[nbytes - 1] >> 4) != 0)
+    d.fail(ErrorCode::Corrupt,
+           "corrupt trace: nonzero padding nibble in type stream");
+  for (std::size_t ty = 0; ty < kNumEventTypes; ++ty)
+    if (seen[ty] != counts[ty])
+      d.fail(ErrorCode::Corrupt,
+             "corrupt trace: type stream has " + std::to_string(seen[ty]) +
+                 " events of type " + std::to_string(ty) +
+                 " but the header declares " + std::to_string(counts[ty]));
+
+  EventColumns c;
+  get_double_column(d, c.time, static_cast<std::size_t>(nev), "time");
+  const auto n_enter = static_cast<std::size_t>(counts[0]);
+  const auto n_send = static_cast<std::size_t>(counts[2]);
+  const auto n_recv = static_cast<std::size_t>(counts[3]);
+  const auto n_coll = static_cast<std::size_t>(counts[4]);
+  get_int_column(d, c.enter_region, n_enter, "enter.region");
+  get_int_column(d, c.send_peer, n_send, "send.peer");
+  get_int_column(d, c.send_tag, n_send, "send.tag");
+  get_double_column(d, c.send_bytes, n_send, "send.bytes");
+  get_int_column(d, c.send_comm, n_send, "send.comm");
+  get_int_column(d, c.recv_peer, n_recv, "recv.peer");
+  get_int_column(d, c.recv_tag, n_recv, "recv.tag");
+  get_double_column(d, c.recv_bytes, n_recv, "recv.bytes");
+  get_int_column(d, c.recv_comm, n_recv, "recv.comm");
+  get_int_column(d, c.coll_region, n_coll, "collexit.region");
+  get_int_column(d, c.coll_comm, n_coll, "collexit.comm");
+  get_int_column(d, c.coll_root, n_coll, "collexit.root");
+  get_double_column(d, c.coll_bytes, n_coll, "collexit.bytes");
+  get_double_column(d, c.coll_sent, n_coll, "collexit.sent");
+  get_double_column(d, c.coll_recvd, n_coll, "collexit.recvd");
+
+  // Interleave the columns back into the event stream. The type-stream
+  // tallies were checked against the header counts above, so every
+  // cursor lands exactly at its column's end.
+  t.events.resize(static_cast<std::size_t>(nev));
+  std::size_t i_enter = 0, i_send = 0, i_recv = 0, i_coll = 0;
+  for (std::uint64_t i = 0; i < nev; ++i) {
+    Event& e = t.events[static_cast<std::size_t>(i)];
+    e.type = static_cast<EventType>(types[static_cast<std::size_t>(i)]);
+    e.time = c.time[static_cast<std::size_t>(i)];
+    switch (e.type) {
+      case EventType::Enter:
+        e.region = RegionId{static_cast<int>(c.enter_region[i_enter++])};
+        break;
+      case EventType::Exit:
+        break;
+      case EventType::Send:
+        e.peer = static_cast<Rank>(c.send_peer[i_send]);
+        e.tag = static_cast<int>(c.send_tag[i_send]);
+        e.bytes = c.send_bytes[i_send];
+        e.comm = CommId{static_cast<int>(c.send_comm[i_send])};
+        ++i_send;
+        break;
+      case EventType::Recv:
+        e.peer = static_cast<Rank>(c.recv_peer[i_recv]);
+        e.tag = static_cast<int>(c.recv_tag[i_recv]);
+        e.bytes = c.recv_bytes[i_recv];
+        e.comm = CommId{static_cast<int>(c.recv_comm[i_recv])};
+        ++i_recv;
+        break;
+      case EventType::CollExit:
+        e.region = RegionId{static_cast<int>(c.coll_region[i_coll])};
+        e.comm = CommId{static_cast<int>(c.coll_comm[i_coll])};
+        e.root = static_cast<Rank>(c.coll_root[i_coll]);
+        e.bytes = c.coll_bytes[i_coll];
+        e.sent_bytes = c.coll_sent[i_coll];
+        e.recvd_bytes = c.coll_recvd[i_coll];
+        ++i_coll;
+        break;
+    }
+  }
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> encode_defs(const TraceCollection& tc) {
+std::vector<std::uint8_t> encode_defs(const TraceCollection& tc,
+                                      std::uint32_t version) {
+  check_encode_version(version);
   BufWriter w;
   w.put_u32(kDefsMagic);
-  w.put_u32(kTraceFormatVersion);
+  w.put_u32(version);
   w.put_u8(static_cast<std::uint8_t>(tc.scheme));
   w.put_u8(tc.synchronized ? 1 : 0);
   w.put_varint(static_cast<std::uint64_t>(tc.num_ranks()));
@@ -58,11 +469,14 @@ std::vector<std::uint8_t> encode_defs(const TraceCollection& tc) {
   return w.data();
 }
 
-TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
+TraceCollection decode_defs(const std::uint8_t* data, std::size_t size,
                             const std::string& path) {
-  Decoder d(bytes, ErrorContext{path, -1, -1});
+  Decoder d(data, size, ErrorContext{path, -1, -1});
   d.expect_magic(kDefsMagic, "defs file");
-  d.expect_version(kTraceFormatVersion, "defs file");
+  // The defs layout is shared by every version; only the header's
+  // version field differs.
+  d.expect_version_in(kMinTraceFormatVersion, kTraceFormatVersion,
+                      "defs file");
   TraceCollection tc;
   const std::uint8_t scheme = d.get_u8();
   if (scheme > static_cast<std::uint8_t>(SyncScheme::HierarchicalTwo))
@@ -122,59 +536,57 @@ TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
   return tc;
 }
 
-std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace) {
+TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
+                            const std::string& path) {
+  return decode_defs(bytes.data(), bytes.size(), path);
+}
+
+std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace,
+                                             std::uint32_t version) {
+  check_encode_version(version);
   BufWriter w;
   w.put_u32(kTraceMagic);
-  w.put_u32(kTraceFormatVersion);
+  w.put_u32(version);
   w.put_svarint(trace.rank);
-  // v2 header: both counts precede their payloads so the decoder can
+
+  if (version == 1) {
+    // v1: each section's count immediately precedes it.
+    w.put_varint(trace.sync.size());
+    encode_sync_rows(w, trace.sync);
+    w.put_varint(trace.events.size());
+    encode_event_rows(w, trace.events);
+    return w.data();
+  }
+
+  // v2/v3 header: both counts precede their payloads so the decoder can
   // reserve once and detect truncation before parsing.
   w.put_varint(trace.sync.size());
   w.put_varint(trace.events.size());
 
-  for (const auto& s : trace.sync) {
-    w.put_u8(static_cast<std::uint8_t>(s.phase));
-    w.put_svarint(s.ref_rank);
-    w.put_f64(s.local_mid);
-    w.put_f64(s.offset);
-    w.put_f64(s.error_bound);
+  if (version == 2) {
+    encode_sync_rows(w, trace.sync);
+    encode_event_rows(w, trace.events);
+    return w.data();
   }
 
-  for (const auto& e : trace.events) {
-    w.put_u8(static_cast<std::uint8_t>(e.type));
-    w.put_f64(e.time);
-    switch (e.type) {
-      case EventType::Enter:
-        w.put_svarint(e.region.get());
-        break;
-      case EventType::Exit:
-        break;
-      case EventType::Send:
-      case EventType::Recv:
-        w.put_svarint(e.peer);
-        w.put_svarint(e.tag);
-        w.put_f64(e.bytes);
-        w.put_svarint(e.comm.get());
-        break;
-      case EventType::CollExit:
-        w.put_svarint(e.region.get());
-        w.put_svarint(e.comm.get());
-        w.put_svarint(e.root);
-        w.put_f64(e.bytes);
-        w.put_f64(e.sent_bytes);
-        w.put_f64(e.recvd_bytes);
-        break;
-    }
-  }
-  telemetry::counter("trace.bytes_encoded").add(w.data().size());
+  // v3 header additionally carries per-type counts, so the decoder can
+  // size every column before touching the payload.
+  std::array<std::uint64_t, kNumEventTypes> counts{};
+  for (const auto& e : trace.events)
+    ++counts[static_cast<std::size_t>(e.type)];
+  for (const std::uint64_t c : counts) w.put_varint(c);
+
+  encode_sync_v3(w, trace.sync);
+  encode_events_v3(w, trace.events, counts);
   return w.data();
 }
 
-LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
+LocalTrace decode_local_trace(const std::uint8_t* data, std::size_t size,
                               const std::string& path) {
-  Decoder d(bytes, ErrorContext{path, -1, -1});
+  Decoder d(data, size, ErrorContext{path, -1, -1});
   d.expect_magic(kTraceMagic, "trace file");
-  d.expect_version(kTraceFormatVersion, "trace file");
+  const std::uint32_t version = d.expect_version_in(
+      kMinTraceFormatVersion, kTraceFormatVersion, "trace file");
   LocalTrace t;
   std::uint64_t nev = 0;
   // A file cut short can run dry anywhere — in the header, in the count
@@ -190,56 +602,35 @@ LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
     t.rank = static_cast<Rank>(rank);
     d.set_rank(static_cast<int>(rank));
 
-    const auto nsync = d.get_count("sync records", kMinSyncRecordBytes);
-    nev = d.get_count("events", kMinEventBytes);
-
-    t.sync.reserve(static_cast<std::size_t>(nsync));
-    for (std::uint64_t i = 0; i < nsync; ++i) {
-      OffsetRecord s;
-      s.phase = d.get_u8();
-      s.ref_rank = static_cast<Rank>(d.get_svarint());
-      s.local_mid = d.get_f64();
-      s.offset = d.get_f64();
-      s.error_bound = d.get_f64();
-      t.sync.push_back(s);
-    }
-
-    t.events.reserve(static_cast<std::size_t>(nev));
-    for (std::uint64_t i = 0; i < nev; ++i) {
-      Event e;
-      const std::uint8_t type = d.get_u8();
-      e.time = d.get_f64();
-      switch (static_cast<EventType>(type)) {
-        case EventType::Enter:
-          e.type = EventType::Enter;
-          e.region = RegionId{static_cast<int>(d.get_svarint())};
-          break;
-        case EventType::Exit:
-          e.type = EventType::Exit;
-          break;
-        case EventType::Send:
-        case EventType::Recv:
-          e.type = static_cast<EventType>(type);
-          e.peer = static_cast<Rank>(d.get_svarint());
-          e.tag = static_cast<int>(d.get_svarint());
-          e.bytes = d.get_f64();
-          e.comm = CommId{static_cast<int>(d.get_svarint())};
-          break;
-        case EventType::CollExit:
-          e.type = EventType::CollExit;
-          e.region = RegionId{static_cast<int>(d.get_svarint())};
-          e.comm = CommId{static_cast<int>(d.get_svarint())};
-          e.root = static_cast<Rank>(d.get_svarint());
-          e.bytes = d.get_f64();
-          e.sent_bytes = d.get_f64();
-          e.recvd_bytes = d.get_f64();
-          break;
-        default:
-          d.fail(ErrorCode::Corrupt, "corrupt trace: unknown event type " +
-                                         std::to_string(static_cast<int>(
-                                             type)));
+    if (version == 1) {
+      const auto nsync = d.get_count("sync records", kMinSyncRecordBytes);
+      decode_sync_rows(d, t, nsync);
+      nev = d.get_count("events", kMinEventBytes);
+      decode_event_rows(d, t, nev);
+    } else {
+      const auto nsync = d.get_count(
+          "sync records",
+          version >= 3 ? kMinSyncRecordBytesV3 : kMinSyncRecordBytes);
+      nev = d.get_count("events", version >= 3 ? kMinEventBytesV3
+                                               : kMinEventBytes);
+      if (version == 2) {
+        decode_sync_rows(d, t, nsync);
+        decode_event_rows(d, t, nev);
+      } else {
+        std::array<std::uint64_t, kNumEventTypes> counts{};
+        std::uint64_t sum = 0;
+        for (std::size_t ty = 0; ty < kNumEventTypes; ++ty) {
+          counts[ty] = d.get_varint();
+          sum += counts[ty];
+        }
+        if (sum != nev)
+          d.fail(ErrorCode::Corrupt,
+                 "per-type event counts sum to " + std::to_string(sum) +
+                     " but the header declares " + std::to_string(nev) +
+                     " events");
+        decode_sync_v3(d, t, nsync);
+        decode_events_v3(d, t, nev, counts);
       }
-      t.events.push_back(e);
     }
     d.require_end("trace file");
   } catch (const Error& e) {
@@ -254,26 +645,34 @@ LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
   return t;
 }
 
+LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
+                              const std::string& path) {
+  return decode_local_trace(bytes.data(), bytes.size(), path);
+}
+
 std::string defs_filename() { return "experiment.defs"; }
 
 std::string trace_filename(Rank rank) {
   return "trace." + std::to_string(rank) + ".elg";
 }
 
-void write_collection(const std::string& dir, const TraceCollection& tc) {
-  write_file_bytes(dir + "/" + defs_filename(), encode_defs(tc));
+void write_collection(const std::string& dir, const TraceCollection& tc,
+                      std::uint32_t version) {
+  write_file_bytes(dir + "/" + defs_filename(), encode_defs(tc, version));
   for (const auto& t : tc.ranks)
     write_file_bytes(dir + "/" + trace_filename(t.rank),
-                     encode_local_trace(t));
+                     encode_local_trace(t, version));
 }
 
 TraceCollection read_collection(const std::string& dir) {
   const std::string defs_path = dir + "/" + defs_filename();
-  TraceCollection tc = decode_defs(read_file_bytes(defs_path), defs_path);
+  const MappedFile defs = MappedFile::open(defs_path);
+  TraceCollection tc = decode_defs(defs.data(), defs.size(), defs_path);
   for (int r = 0; r < tc.num_ranks(); ++r) {
     const std::string path = dir + "/" + trace_filename(r);
+    const MappedFile f = MappedFile::open(path);
     tc.ranks[static_cast<std::size_t>(r)] =
-        decode_local_trace(read_file_bytes(path), path);
+        decode_local_trace(f.data(), f.size(), path);
     if (tc.ranks[static_cast<std::size_t>(r)].rank != r)
       throw Error(ErrorCode::Corrupt,
                   "trace file rank mismatch (file claims rank " +

@@ -4,22 +4,36 @@
 // management") natural: each metahost's partial archive holds exactly the
 // files of its own processes.
 //
-// Layout (all integers varint/LEB128, floats little-endian f64):
-//   defs file:   magic "MSCD" u32-version, region table, metahost table,
-//                location table, communicator table, sync scheme flags
-//   trace file:  magic "MSCT" u32-version, rank, sync-record count,
-//                event count, sync records, events
+// Format versions (decode accepts all of them; encode takes a version
+// knob defaulting to the newest — see DESIGN.md §5e for the byte-level
+// v3 layout):
 //
-// Version 2 moved both counts into the header (before the records they
-// describe) so a decoder can size its vectors with a single reserve
-// before touching the payload, and can report truncation up front by
-// checking the counts against the bytes actually present.
+//   v1  row-wise events; each section's count immediately precedes it.
+//   v2  row-wise events; both counts moved into the header so a decoder
+//       can size its vectors with a single reserve and report truncation
+//       up front by checking the counts against the bytes present.
+//   v3  columnar: the header additionally carries per-EventType counts,
+//       the event kinds are a nibble-packed type stream, and every
+//       Event and OffsetRecord field becomes a per-type column —
+//       zigzag-delta varints for the integer columns, and
+//       self-describing lossless double columns (raw /
+//       XOR-of-bit-pattern deltas / scaled-integer deltas with optional
+//       per-value ULP residuals, common/column_codec.hpp) for
+//       timestamps and byte counts. Decoded values are bit-identical to
+//       what was encoded, so severity cubes stay exactly reproducible;
+//       archives shrink ~2x against the (already varint-packed) v2.
+//
+// The defs file layout is shared by all three versions (only the header
+// version number differs).
 //
 // All decoding goes through the bounds-checked Decoder facade
 // (common/binary_io.hpp): every failure is an Error carrying an
 // ErrorCode (Truncated / Corrupt / VersionMismatch / LimitExceeded)
 // plus the source path, rank, and byte offset. Pass `path` so the
 // context names the file; callers that only hold bytes may omit it.
+// The pointer+size decode overloads are the zero-copy entry points: the
+// archive layer passes a MappedFile's view straight in, and the decoder
+// reads out of the mapping without an intermediate copy.
 #pragma once
 
 #include <cstdint>
@@ -30,22 +44,39 @@
 
 namespace metascope::tracing {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 2;
+/// Newest (and default-written) trace format version.
+inline constexpr std::uint32_t kTraceFormatVersion = 3;
+/// Oldest version the decoders still read.
+inline constexpr std::uint32_t kMinTraceFormatVersion = 1;
 
 /// Sanity cap on the rank count a defs file may declare (well above any
 /// simulated metacomputer; bounds the decoder's up-front allocation).
 inline constexpr std::uint64_t kMaxRanksPerArchive = 1ULL << 22;
 
 /// Serialization of the shared definition records (+ collection flags).
-std::vector<std::uint8_t> encode_defs(const TraceCollection& tc);
+/// `version` must be in [kMinTraceFormatVersion, kTraceFormatVersion].
+std::vector<std::uint8_t> encode_defs(const TraceCollection& tc,
+                                      std::uint32_t version =
+                                          kTraceFormatVersion);
 
 /// Decodes definitions into an empty collection (ranks left empty but
-/// sized; scheme/synchronized restored).
+/// sized; scheme/synchronized restored). Accepts every known version.
+TraceCollection decode_defs(const std::uint8_t* data, std::size_t size,
+                            const std::string& path = {});
 TraceCollection decode_defs(const std::vector<std::uint8_t>& bytes,
                             const std::string& path = {});
 
-/// Serialization of one process's events + sync records.
-std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace);
+/// Serialization of one process's events + sync records in the given
+/// format version.
+std::vector<std::uint8_t> encode_local_trace(const LocalTrace& trace,
+                                             std::uint32_t version =
+                                                 kTraceFormatVersion);
+
+/// Decodes a trace file of any known version (the header's version
+/// field selects the layout). The pointer overload borrows the buffer —
+/// nothing is copied out of it except the decoded trace itself.
+LocalTrace decode_local_trace(const std::uint8_t* data, std::size_t size,
+                              const std::string& path = {});
 LocalTrace decode_local_trace(const std::vector<std::uint8_t>& bytes,
                               const std::string& path = {});
 
@@ -54,7 +85,8 @@ std::string defs_filename();
 std::string trace_filename(Rank rank);
 
 /// Writes defs + all rank traces into `dir` (must exist).
-void write_collection(const std::string& dir, const TraceCollection& tc);
+void write_collection(const std::string& dir, const TraceCollection& tc,
+                      std::uint32_t version = kTraceFormatVersion);
 
 /// Reads a collection previously written by write_collection.
 TraceCollection read_collection(const std::string& dir);

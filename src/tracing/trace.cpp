@@ -25,6 +25,17 @@ const char* to_string(SyncScheme s) {
   return "?";
 }
 
+std::size_t in_memory_bytes(const LocalTrace& t) {
+  return t.events.size() * sizeof(Event) +
+         t.sync.size() * sizeof(OffsetRecord);
+}
+
+std::size_t in_memory_bytes(const TraceCollection& tc) {
+  std::size_t n = 0;
+  for (const auto& t : tc.ranks) n += in_memory_bytes(t);
+  return n;
+}
+
 std::size_t TraceCollection::total_events() const {
   std::size_t n = 0;
   for (const auto& t : ranks) n += t.events.size();

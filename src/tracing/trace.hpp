@@ -71,6 +71,15 @@ struct TraceCollection {
   [[nodiscard]] std::vector<GlobalRef> global_order() const;
 };
 
+/// Resident size of a trace's payload vectors (events + sync records),
+/// independent of any serialization format. The byte-accounting split:
+/// "in-memory bytes" is what the analyzer holds and replays over;
+/// "on-disk bytes" (telemetry counters archive.bytes_on_disk /
+/// archive.read.bytes) is what the encoded archive occupies — the ratio
+/// of the two is the trace-format compression ratio.
+std::size_t in_memory_bytes(const LocalTrace& t);
+std::size_t in_memory_bytes(const TraceCollection& tc);
+
 /// Permissive-recovery support: removes from the surviving ranks every
 /// event that can no longer be matched once the given ranks are
 /// quarantined (their traces emptied) —

@@ -7,6 +7,11 @@
 // Both decoders run on the same input: the magic words ("MCSD" vs
 // "MCST") disambiguate real files, so a single corpus exercises both
 // paths and the mutator can freely morph one format into the other.
+// The corpus seeds all three trace format versions; the v3 columnar
+// seeds and mutants (make_fuzz_corpus) aim the mutator at the type
+// stream, per-type count cross-checks, column frames, and the double
+// codec's validated fields (XOR lead bytes, scale indices, residual
+// bit widths).
 #include <cstdint>
 #include <vector>
 

@@ -206,10 +206,12 @@ TEST(Analyzer, ReplayMovesFarLessThanTraceSize) {
   const auto prog = workloads::build_metatrace();
   const auto tc = make_traces(topo, prog, /*skewed=*/true);
   const auto p = analyze_parallel(tc);
-  EXPECT_GT(p.stats.trace_bytes, 0u);
+  EXPECT_GT(p.stats.trace_bytes_in_memory, 0u);
   EXPECT_GT(p.stats.replay_bytes, 0u);
-  // The paper's claim: replay exchanges much less than the trace volume.
-  EXPECT_LT(p.stats.replay_bytes, p.stats.trace_bytes / 2);
+  // The paper's claim: replay exchanges much less than the trace volume
+  // the workers hold (resident bytes — the figure is independent of the
+  // on-disk trace format).
+  EXPECT_LT(p.stats.replay_bytes, p.stats.trace_bytes_in_memory / 2);
 }
 
 TEST(Analyzer, SystemTreeCarriedIntoCube) {

@@ -239,11 +239,12 @@ TEST_F(ArchiveCorruptTest, CountLargerThanPayloadIsTruncated) {
   }
 }
 
-TEST_F(ArchiveCorruptTest, UnknownEventTypeIsCorrupt) {
+TEST_F(ArchiveCorruptTest, UnknownEventTypeIsCorruptRowWise) {
+  // v2 carries the event type as a row byte.
   const Rank victim = 2;
   BufWriter w;
   w.put_u32(0x5453434DU);
-  w.put_u32(tracing::kTraceFormatVersion);
+  w.put_u32(2);
   w.put_svarint(victim);
   w.put_varint(0);
   w.put_varint(1);
@@ -251,6 +252,97 @@ TEST_F(ArchiveCorruptTest, UnknownEventTypeIsCorrupt) {
   w.put_f64(1.0);
   write_file_bytes(trace_path(victim), w.data());
   expect_strict_failure(ErrorCode::Corrupt, victim, "unknown event type");
+}
+
+TEST_F(ArchiveCorruptTest, UnknownEventTypeIsCorruptColumnar) {
+  // v3 carries the event types as a nibble-packed stream right after
+  // the header; flip the first event's nibble to an undefined type.
+  // Header: magic 4 + version 4, then rank/nsync/nev/per-type counts as
+  // varints — all single-byte for this workload's shape, so the stream
+  // starts at a computable offset.
+  const Rank victim = 2;
+  const auto& trace = data_.traces.ranks[static_cast<std::size_t>(victim)];
+  auto bytes = tracing::encode_local_trace(trace, 3);
+  ASSERT_LT(trace.events.size(), 128u) << "varint offsets shift";
+  ASSERT_LT(trace.sync.size(), 64u);
+  const std::size_t type_stream = 8 + 1 + 1 + 1 + 5;
+  bytes[type_stream] = static_cast<std::uint8_t>(
+      (bytes[type_stream] & 0xF0) | 0x0F);
+  write_file_bytes(trace_path(victim), bytes);
+  expect_strict_failure(ErrorCode::Corrupt, victim,
+                        "unknown event type 15 in type stream");
+}
+
+TEST_F(ArchiveCorruptTest, ZeroLengthTraceFileTruncatedStrictQuarantinedPermissive) {
+  // A zero-byte file is the degenerate mmap case (no mapping is
+  // created): strict mode reports Truncated, permissive mode
+  // quarantines the rank — on both the mmap and the copy read path.
+  const Rank victim = 1;
+  write_file_bytes(trace_path(victim), {});
+  for (const bool use_mmap : {true, false}) {
+    ReadOptions strict;
+    strict.use_mmap = use_mmap;
+    try {
+      (void)arch_.read_traces(strict);
+      FAIL() << "expected Truncated (mmap=" << use_mmap << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Truncated) << e.what();
+      EXPECT_EQ(e.context().rank, victim);
+    }
+    ReadOptions permissive = strict;
+    permissive.permissive = true;
+    ReadReport report;
+    const auto loaded = arch_.read_traces(permissive, &report);
+    ASSERT_EQ(report.quarantined.size(), 1u) << "mmap=" << use_mmap;
+    EXPECT_EQ(report.quarantined[0].rank, victim);
+    EXPECT_EQ(report.quarantined[0].code, ErrorCode::Truncated);
+    EXPECT_TRUE(loaded.ranks[static_cast<std::size_t>(victim)]
+                    .events.empty());
+  }
+}
+
+TEST_F(ArchiveCorruptTest, MmapAndCopyReadPathsAreByteIdentical) {
+  ReadOptions with_mmap;
+  with_mmap.use_mmap = true;
+  ReadOptions without;
+  without.use_mmap = false;
+  const auto a = arch_.read_traces(with_mmap);
+  const auto b = arch_.read_traces(without);
+  ASSERT_EQ(a.num_ranks(), b.num_ranks());
+  for (int r = 0; r < a.num_ranks(); ++r)
+    EXPECT_EQ(a.ranks[static_cast<std::size_t>(r)],
+              b.ranks[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.synchronized, b.synchronized);
+}
+
+TEST_F(ArchiveCorruptTest, MmapPermissiveQuarantinesMidDecodeFailure) {
+  // Damage a rank so its mapped decode fails partway through the
+  // columnar payload (not at the header): the permissive mmap read must
+  // quarantine it and produce the same recovered collection as the copy
+  // path.
+  const Rank victim = 2;
+  auto bytes = read_file_bytes(trace_path(victim));
+  bytes.resize(bytes.size() - bytes.size() / 4);
+  write_file_bytes(trace_path(victim), bytes);
+
+  tracing::TraceCollection recovered[2];
+  for (const bool use_mmap : {true, false}) {
+    ReadOptions opts;
+    opts.permissive = true;
+    opts.use_mmap = use_mmap;
+    ReadReport report;
+    recovered[use_mmap ? 0 : 1] = arch_.read_traces(opts, &report);
+    ASSERT_EQ(report.quarantined.size(), 1u) << "mmap=" << use_mmap;
+    EXPECT_EQ(report.quarantined[0].rank, victim);
+    EXPECT_EQ(report.quarantined[0].code, ErrorCode::Truncated);
+  }
+  ASSERT_EQ(recovered[0].num_ranks(), recovered[1].num_ranks());
+  for (int r = 0; r < recovered[0].num_ranks(); ++r)
+    EXPECT_EQ(recovered[0].ranks[static_cast<std::size_t>(r)],
+              recovered[1].ranks[static_cast<std::size_t>(r)])
+        << "rank " << r;
 }
 
 TEST_F(ArchiveCorruptTest, MissingTraceFileIsIoError) {

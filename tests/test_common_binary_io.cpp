@@ -147,5 +147,114 @@ TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(read_file_bytes("/nonexistent/x.bin"), Error);
 }
 
+TEST(Decoder, GetRawBorrowsWithoutCopying) {
+  BufWriter w;
+  w.put_u8(7);
+  w.put_bytes("abcdef", 6);
+  Decoder d(w.data());
+  EXPECT_EQ(d.get_u8(), 7);
+  const std::uint8_t* p = d.get_raw(6, "payload");
+  // The pointer aims into the decoder's own buffer — zero-copy.
+  EXPECT_EQ(p, w.data().data() + 1);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(p), 6), "abcdef");
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Decoder, GetRawPastEndIsTruncated) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  Decoder d(bytes);
+  try {
+    (void)d.get_raw(4, "payload");
+    FAIL() << "expected Truncated";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Truncated) << e.what();
+  }
+  // Zero bytes from an empty tail is fine.
+  Decoder d2(bytes);
+  (void)d2.get_raw(3, "payload");
+  (void)d2.get_raw(0, "nothing");
+  EXPECT_TRUE(d2.at_end());
+}
+
+TEST(Decoder, ExpectVersionInAcceptsRangeRejectsOutside) {
+  const auto encode_version = [](std::uint32_t v) {
+    BufWriter w;
+    w.put_u32(v);
+    return w.data();
+  };
+  for (const std::uint32_t v : {1u, 2u, 3u}) {
+    const auto bytes = encode_version(v);
+    Decoder d(bytes);
+    EXPECT_EQ(d.expect_version_in(1, 3, "test file"), v);
+  }
+  for (const std::uint32_t v : {0u, 4u, 99u}) {
+    const auto bytes = encode_version(v);
+    Decoder d(bytes);
+    try {
+      (void)d.expect_version_in(1, 3, "test file");
+      FAIL() << "expected VersionMismatch for version " << v;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::VersionMismatch) << e.what();
+    }
+  }
+}
+
+TEST(MappedFile, MappedAndFallbackViewsAreIdentical) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_mmap_test.bin").string();
+  std::vector<std::uint8_t> bytes(1000);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  write_file_bytes(path, bytes);
+
+  const MappedFile mapped = MappedFile::open(path, /*allow_mmap=*/true);
+  const MappedFile copied = MappedFile::open(path, /*allow_mmap=*/false);
+  EXPECT_FALSE(copied.mapped());
+  ASSERT_EQ(mapped.size(), bytes.size());
+  ASSERT_EQ(copied.size(), bytes.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(mapped.data(),
+                                      mapped.data() + mapped.size()),
+            bytes);
+  EXPECT_EQ(std::vector<std::uint8_t>(copied.data(),
+                                      copied.data() + copied.size()),
+            bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(MappedFile, ZeroLengthFileYieldsEmptyView) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_mmap_empty.bin")
+          .string();
+  write_file_bytes(path, {});
+  for (const bool allow_mmap : {true, false}) {
+    const MappedFile f = MappedFile::open(path, allow_mmap);
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_FALSE(f.mapped());  // mmap rejects length 0; no mapping made
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MappedFile, MissingFileThrowsIoWithPath) {
+  try {
+    (void)MappedFile::open("/nonexistent/msc.bin");
+    FAIL() << "expected Io error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io) << e.what();
+    EXPECT_EQ(e.context().path, "/nonexistent/msc.bin");
+  }
+}
+
+TEST(MappedFile, MoveTransfersTheView) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_mmap_move.bin").string();
+  write_file_bytes(path, {9, 8, 7});
+  MappedFile a = MappedFile::open(path);
+  MappedFile b = std::move(a);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[0], 9);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): reset state
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace metascope

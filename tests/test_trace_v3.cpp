@@ -1,0 +1,529 @@
+// Trace format v3 contract tests: the per-column codecs (bit-lossless
+// double compression incl. the residual-corrected scaled modes), the
+// columnar trace layout, cross-version migration (v2-written archives
+// re-written as v3 must preserve every event bit and every golden
+// severity-cube cell), the compression gain itself, and the exact
+// ErrorCode taxonomy for v3-specific damage (bad type nibbles, column
+// frame truncation, column-length and per-type-count mismatches).
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "common/binary_io.hpp"
+#include "common/column_codec.hpp"
+#include "common/error.hpp"
+#include "simnet/presets.hpp"
+#include "simnet/topology.hpp"
+#include "tracing/epilog_io.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/microworkloads.hpp"
+
+namespace metascope {
+namespace {
+
+namespace fs = std::filesystem;
+using tracing::Event;
+using tracing::EventType;
+using tracing::LocalTrace;
+using tracing::TraceCollection;
+
+// --- double-column codec --------------------------------------------------
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double double_of(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+/// Encodes, decodes, and asserts bit-identity; returns the mode byte.
+int round_trip_doubles(const std::vector<double>& v) {
+  BufWriter w;
+  colcodec::encode_double_column(w, v.data(), v.size());
+  Decoder d(w.data());
+  std::vector<double> out(v.size());
+  colcodec::decode_double_column(d, out.data(), v.size());
+  EXPECT_TRUE(d.at_end());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(bits_of(out[i]), bits_of(v[i])) << "index " << i;
+  return w.size() == 0 ? -1 : static_cast<int>(w.data()[0]);
+}
+
+TEST(DoubleColumn, SpecialValuesRoundTripBitExactly) {
+  const std::vector<double> specials = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      double_of(0x7FF8000000000F0FULL),  // NaN with payload
+      double_of(0xFFF8000000000001ULL),  // negative NaN
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      DBL_MAX,
+      -DBL_MAX,
+      DBL_MIN,
+      1.0,
+      -1.0,
+  };
+  round_trip_doubles(specials);
+  // Each special alone, and repeated (the XOR repeat path).
+  for (const double s : specials) {
+    round_trip_doubles({s});
+    round_trip_doubles({s, s, s});
+  }
+}
+
+TEST(DoubleColumn, GridValuesPickAnExactScaledMode) {
+  // Exact multiples of the 1e-7 clock granularity, monotone: both the
+  // fit and the round trip must be exact, and the encoder must prefer a
+  // scaled mode (2 or 3) over XOR.
+  std::vector<double> v;
+  std::int64_t k = 10'000'000;
+  for (int i = 0; i < 200; ++i) {
+    k += 13 + (i % 5);
+    v.push_back(static_cast<double>(k) * 1e-7);
+  }
+  const int mode = round_trip_doubles(v);
+  EXPECT_TRUE(mode == 2 || mode == 3) << "mode " << mode;
+}
+
+TEST(DoubleColumn, NudgedGridValuesPickAResidualModeAndStayLossless) {
+  // What measurement.cpp actually produces: granularity-quantized
+  // stamps occasionally nudged off-grid by the +1e-9 monotonicity
+  // fix-up. No single scale reproduces these exactly, so the encoder
+  // must fall back to a residual-corrected scaled mode (4 or 5) and
+  // still round-trip every bit.
+  std::vector<double> v;
+  double base = 1.0, last = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    base += 1e-5;
+    double stamp = std::floor(base / 1e-7) * 1e-7;
+    if (i % 7 == 0) stamp = last + 1e-9;  // off-grid nudge
+    if (stamp <= last) stamp = last + 1e-9;
+    last = stamp;
+    v.push_back(stamp);
+  }
+  const int mode = round_trip_doubles(v);
+  EXPECT_TRUE(mode == 4 || mode == 5) << "mode " << mode;
+  // The residual trick must beat XOR comfortably on this shape.
+  BufWriter w;
+  colcodec::encode_double_column(w, v.data(), v.size());
+  EXPECT_LT(w.size(), 4 * v.size()) << "bytes " << w.size();
+}
+
+TEST(DoubleColumn, EmptyColumnEncodesToNothing) {
+  BufWriter w;
+  colcodec::encode_double_column(w, nullptr, 0);
+  EXPECT_EQ(w.size(), 0u);
+  Decoder d(w.data());
+  colcodec::decode_double_column(d, nullptr, 0);
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(IntColumn, ExtremesRoundTrip) {
+  const std::vector<std::int64_t> v = {
+      0,
+      1,
+      -1,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+      42,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+  };
+  BufWriter w;
+  colcodec::encode_int_column(w, v.data(), v.size());
+  Decoder d(w.data());
+  std::vector<std::int64_t> out(v.size());
+  colcodec::decode_int_column(d, out.data(), v.size());
+  EXPECT_TRUE(d.at_end());
+  EXPECT_EQ(out, v);
+}
+
+void expect_decode_failure(const std::vector<std::uint8_t>& payload,
+                           std::size_t n, ErrorCode code,
+                           const std::string& needle) {
+  Decoder d(payload.data(), payload.size());
+  std::vector<double> out(n);
+  try {
+    colcodec::decode_double_column(d, out.data(), n);
+    FAIL() << "expected Error containing \"" << needle << "\"";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DoubleColumn, BadXorLeadBytesAreCorrupt) {
+  // Lead byte 65 is out of range outright; 64 decodes to a 7+8 byte
+  // window, which exceeds the 8 bytes of a double.
+  expect_decode_failure({1, 65}, 1, ErrorCode::Corrupt, "XOR lead byte");
+  expect_decode_failure({1, 64}, 1, ErrorCode::Corrupt, "XOR lead byte");
+}
+
+TEST(DoubleColumn, UnknownModeIsCorrupt) {
+  expect_decode_failure({6}, 1, ErrorCode::Corrupt, "double-column mode");
+  expect_decode_failure({255}, 1, ErrorCode::Corrupt, "double-column mode");
+}
+
+TEST(DoubleColumn, BadScaleIndexIsCorrupt) {
+  for (const std::uint8_t mode : {2, 3, 4, 5})
+    expect_decode_failure({mode, 200}, 1, ErrorCode::Corrupt, "scale index");
+}
+
+TEST(DoubleColumn, BadResidualBitWidthIsCorrupt) {
+  for (const std::uint8_t mode : {4, 5})
+    expect_decode_failure({mode, 0, 65}, 1, ErrorCode::Corrupt,
+                          "residual bit width");
+}
+
+TEST(DoubleColumn, TruncatedStreamsAreTruncated) {
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(0.25 * i + (i % 3) * 1e-9);
+  BufWriter w;
+  colcodec::encode_double_column(w, v.data(), v.size());
+  for (const std::size_t keep : {w.size() - 1, w.size() / 2, std::size_t{1}}) {
+    std::vector<std::uint8_t> cut(w.data().begin(),
+                                  w.data().begin() +
+                                      static_cast<std::ptrdiff_t>(keep));
+    Decoder d(cut.data(), cut.size());
+    std::vector<double> out(v.size());
+    EXPECT_THROW(colcodec::decode_double_column(d, out.data(), v.size()),
+                 Error)
+        << "keep=" << keep;
+  }
+}
+
+// --- v3 trace layout ------------------------------------------------------
+
+LocalTrace mixed_trace(Rank rank, int n) {
+  LocalTrace t;
+  t.rank = rank;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Event e;
+    double stamp = std::floor((0.001 * (i + 1)) / 1e-7) * 1e-7;
+    if (stamp <= last) stamp = last + 1e-9;
+    last = stamp;
+    e.time = stamp;
+    switch (i % 5) {
+      case 0:
+        e.type = EventType::Enter;
+        e.region = RegionId{i % 4};
+        break;
+      case 1:
+        e.type = EventType::Send;
+        e.peer = (rank + 1) % 8;
+        e.tag = i;
+        e.bytes = 1024.0;
+        e.comm = CommId{0};
+        break;
+      case 2:
+        e.type = EventType::Recv;
+        e.peer = (rank + 7) % 8;
+        e.tag = i;
+        e.bytes = 1024.0;
+        e.comm = CommId{0};
+        break;
+      case 3:
+        e.type = EventType::CollExit;
+        e.region = RegionId{1};
+        e.comm = CommId{0};
+        e.root = 0;
+        e.bytes = 256.0;
+        e.sent_bytes = 256.0;
+        e.recvd_bytes = 2048.0;
+        break;
+      case 4:
+        e.type = EventType::Exit;
+        break;
+    }
+    t.events.push_back(e);
+  }
+  for (int p = 0; p < 2; ++p) {
+    tracing::OffsetRecord s;
+    s.phase = p;
+    s.ref_rank = 0;
+    s.local_mid = 0.5 + 0.001 * p;
+    s.offset = -3.5e-4;
+    s.error_bound = 2.1e-6;
+    t.sync.push_back(s);
+  }
+  return t;
+}
+
+TEST(TraceV3, EveryVersionRoundTripsEveryEventBit) {
+  const LocalTrace t = mixed_trace(5, 137);  // odd count: padding nibble
+  for (const std::uint32_t v : {1u, 2u, 3u}) {
+    const auto bytes = tracing::encode_local_trace(t, v);
+    const LocalTrace back = tracing::decode_local_trace(bytes);
+    EXPECT_EQ(back, t) << "version " << v;
+  }
+}
+
+TEST(TraceV3, UnsupportedEncodeVersionsRejected) {
+  const LocalTrace t = mixed_trace(0, 5);
+  for (const std::uint32_t v : {0u, 4u, 99u}) {
+    try {
+      (void)tracing::encode_local_trace(t, v);
+      FAIL() << "expected VersionMismatch for version " << v;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::VersionMismatch) << e.what();
+    }
+  }
+}
+
+TEST(TraceV3, ColumnarFormatIsSubstantiallySmaller) {
+  // Steady-state trace shapes (the regime the columnar layout targets):
+  // v3 must come in at least 3x under v2. Tiny traces have a higher
+  // header share; the archive-level gate lives in the bench smoke job.
+  const LocalTrace t = mixed_trace(3, 20000);
+  const auto v2 = tracing::encode_local_trace(t, 2);
+  const auto v3 = tracing::encode_local_trace(t, 3);
+  EXPECT_GE(v2.size(), 3 * v3.size())
+      << "v2 " << v2.size() << " vs v3 " << v3.size();
+}
+
+TEST(TraceV3, InMemoryBytesCountsResidentSize) {
+  const LocalTrace t = mixed_trace(1, 10);
+  EXPECT_EQ(tracing::in_memory_bytes(t),
+            10 * sizeof(Event) + 2 * sizeof(tracing::OffsetRecord));
+  TraceCollection tc;
+  tc.ranks.push_back(mixed_trace(0, 4));
+  tc.ranks.push_back(mixed_trace(1, 6));
+  EXPECT_EQ(tracing::in_memory_bytes(tc),
+            tracing::in_memory_bytes(tc.ranks[0]) +
+                tracing::in_memory_bytes(tc.ranks[1]));
+}
+
+// --- v3 corruption taxonomy ----------------------------------------------
+//
+// A minimal v3 trace with deterministic offsets: rank 0, no sync
+// records, one Enter event. Header: magic[0..3] version[4..7] rank@8
+// nsync@9 nev@10 per-type-counts@11..15, nibble type stream @16, time
+// column frame @17.
+
+std::vector<std::uint8_t> one_enter_trace() {
+  LocalTrace t;
+  t.rank = 0;
+  Event e;
+  e.type = EventType::Enter;
+  e.region = RegionId{2};
+  e.time = 0.5;
+  t.events.push_back(e);
+  return tracing::encode_local_trace(t, 3);
+}
+
+void expect_trace_failure(std::vector<std::uint8_t> bytes, ErrorCode code,
+                          const std::string& needle) {
+  try {
+    (void)tracing::decode_local_trace(bytes);
+    FAIL() << "expected Error containing \"" << needle << "\"";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceV3Corrupt, UnknownTypeNibbleIsCorrupt) {
+  auto bytes = one_enter_trace();
+  bytes[16] = 0x07;  // low nibble 7: no such EventType
+  expect_trace_failure(std::move(bytes), ErrorCode::Corrupt,
+                       "unknown event type 7 in type stream");
+}
+
+TEST(TraceV3Corrupt, NonzeroPaddingNibbleIsCorrupt) {
+  auto bytes = one_enter_trace();
+  bytes[16] = 0x10;  // odd event count: the high nibble is padding
+  expect_trace_failure(std::move(bytes), ErrorCode::Corrupt,
+                       "nonzero padding nibble");
+}
+
+TEST(TraceV3Corrupt, PerTypeCountSumMismatchIsCorrupt) {
+  auto bytes = one_enter_trace();
+  bytes[11] = 2;  // Enter count 1 -> 2; sum 2 != declared 1 event
+  expect_trace_failure(std::move(bytes), ErrorCode::Corrupt,
+                       "per-type event counts sum");
+}
+
+TEST(TraceV3Corrupt, TypeStreamTallyMismatchIsCorrupt) {
+  auto bytes = one_enter_trace();
+  bytes[11] = 0;  // Enter 1 -> 0 ...
+  bytes[12] = 1;  // ... Exit 0 -> 1: sum still 1, tallies disagree
+  expect_trace_failure(std::move(bytes), ErrorCode::Corrupt,
+                       "type stream has");
+}
+
+TEST(TraceV3Corrupt, ColumnLengthMismatchIsCorrupt) {
+  auto bytes = one_enter_trace();
+  // The time column's frame claims one byte more than its codec
+  // payload; the decoder must flag the mismatch, not absorb the
+  // neighbouring column's bytes.
+  bytes[17] += 1;
+  expect_trace_failure(std::move(bytes), ErrorCode::Corrupt,
+                       "column length mismatch");
+}
+
+TEST(TraceV3Corrupt, TruncatedColumnIsTruncated) {
+  const auto intact = one_enter_trace();
+  // Every cut from inside the time frame to the last byte must surface
+  // as the canonical truncation diagnosis.
+  for (std::size_t keep = 18; keep < intact.size(); ++keep) {
+    std::vector<std::uint8_t> cut(intact.begin(),
+                                  intact.begin() +
+                                      static_cast<std::ptrdiff_t>(keep));
+    expect_trace_failure(std::move(cut), ErrorCode::Truncated,
+                         "truncated trace file");
+  }
+}
+
+TEST(TraceV3Corrupt, OversizedColumnFrameIsTruncated) {
+  auto bytes = one_enter_trace();
+  bytes[17] = 200;  // frame declares more bytes than the file holds
+  expect_trace_failure(std::move(bytes), ErrorCode::Truncated, "column");
+}
+
+// --- cross-version migration against the golden fixture ------------------
+//
+// The wait-barrier-local seed workload from the pattern-engine golden
+// fixture, re-built here (construction must stay in sync with
+// test_pattern_engine.cpp), written as a v2 archive, read back,
+// re-written as v3, read again: every event bit must survive, and the
+// legacy-selection severity cube of the twice-migrated collection must
+// reproduce the fixture cells exactly.
+
+simnet::Topology local_topo(int n) {
+  simnet::Topology topo;
+  simnet::MetahostSpec a;
+  a.name = "A";
+  a.num_nodes = n;
+  a.cpus_per_node = 1;
+  a.internal = simnet::LinkSpec{10e-6, 0.0, 1e9};
+  topo.add_metahost(a);
+  topo.place_block(MetahostId{0}, n, 1);
+  return topo;
+}
+
+TraceCollection wait_barrier_traces() {
+  workloads::ExperimentConfig cfg;
+  cfg.perfect_clocks = true;
+  cfg.measurement.scheme = tracing::SyncScheme::None;
+  auto data = workloads::run_experiment(
+      local_topo(4), workloads::wait_barrier_program({0.3, 0.0, 0.1, 0.2}),
+      cfg);
+  return std::move(data.traces);
+}
+
+using RowMap = std::map<std::string, double>;
+
+RowMap golden_rows(const std::string& workload) {
+  RowMap out;
+  std::ifstream in(MSC_GOLDEN_FILE);
+  EXPECT_TRUE(in.good()) << "missing fixture " << MSC_GOLDEN_FILE;
+  std::string line;
+  bool active = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("workload ", 0) == 0) {
+      active = line.substr(9) == workload;
+      continue;
+    }
+    if (!active) continue;
+    const std::size_t last_sep = line.rfind(" | ");
+    EXPECT_NE(last_sep, std::string::npos) << line;
+    if (last_sep == std::string::npos) continue;
+    std::istringstream tail(line.substr(last_sep + 3));
+    int rank = -1;
+    std::string hex;
+    tail >> rank >> hex;
+    out[line.substr(0, last_sep) + " | " + std::to_string(rank)] =
+        std::strtod(hex.c_str(), nullptr);
+  }
+  EXPECT_FALSE(out.empty()) << "fixture has no rows for " << workload;
+  return out;
+}
+
+RowMap cube_rows(const report::Cube& cube) {
+  RowMap rows;
+  for (MetricId m : cube.metrics.preorder()) {
+    const std::string& metric = cube.metrics.def(m).name;
+    for (CallPathId c : cube.calls.preorder()) {
+      const std::string path = cube.calls.path_string(c, cube.regions);
+      for (Rank r = 0; r < cube.num_ranks(); ++r) {
+        const double v = cube.get(m, c, r);
+        if (v == 0.0) continue;
+        rows[metric + " | " + path + " | " + std::to_string(r)] = v;
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(TraceV3Migration, V2ArchiveRewrittenAsV3MatchesGoldenCube) {
+  const TraceCollection original = wait_barrier_traces();
+
+  const auto base = fs::temp_directory_path() / "msc_v3_migration";
+  const auto v2_dir = base / "v2";
+  const auto v3_dir = base / "v3";
+  fs::remove_all(base);
+  fs::create_directories(v2_dir);
+  fs::create_directories(v3_dir);
+
+  tracing::write_collection(v2_dir.string(), original, 2);
+  const TraceCollection from_v2 = tracing::read_collection(v2_dir.string());
+  tracing::write_collection(v3_dir.string(), from_v2, 3);
+  const TraceCollection from_v3 = tracing::read_collection(v3_dir.string());
+  fs::remove_all(base);
+
+  // Bit-identical traces through both generations.
+  ASSERT_EQ(from_v3.num_ranks(), original.num_ranks());
+  for (int r = 0; r < original.num_ranks(); ++r) {
+    EXPECT_EQ(from_v2.ranks[static_cast<std::size_t>(r)],
+              original.ranks[static_cast<std::size_t>(r)])
+        << "v2 rank " << r;
+    EXPECT_EQ(from_v3.ranks[static_cast<std::size_t>(r)],
+              original.ranks[static_cast<std::size_t>(r)])
+        << "v3 rank " << r;
+  }
+
+  // The migrated collection still reproduces the golden severity cells
+  // bit-for-bit under the legacy detector selection.
+  analysis::ReplayOptions opts;
+  opts.patterns = {"late_sender",    "late_receiver", "early_reduce",
+                   "late_broadcast", "wait_nxn",      "wait_barrier"};
+  const auto res = analysis::analyze_serial(from_v3, opts);
+  const RowMap got = cube_rows(res.cube);
+  const RowMap want = golden_rows("wait-barrier-local");
+  for (const auto& [key, v] : want) {
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      ADD_FAILURE() << "missing row " << key;
+      continue;
+    }
+    EXPECT_EQ(it->second, v) << key;
+  }
+  for (const auto& [key, v] : got)
+    EXPECT_TRUE(want.count(key)) << "unexpected row " << key << " = " << v;
+}
+
+}  // namespace
+}  // namespace metascope

@@ -3,9 +3,12 @@
 // Usage: make_fuzz_corpus <outdir>
 //
 // Runs a miniature two-metahost experiment, encodes its real defs and
-// per-rank trace files, and writes them (plus a handful of structured
-// mutants: truncations, a bad magic, a future version) into one
-// subdirectory per harness:
+// per-rank trace files — current (v3 columnar) format by default, plus
+// one rank in each legacy row-wise format — and writes them together
+// with structured mutants (truncations, bad magic, future version, and
+// v3-specific corners: bad type nibbles, count mismatches, broken
+// column frames, bad XOR lead bytes / scale indices / residual widths)
+// into one subdirectory per harness:
 //
 //   <outdir>/trace_decode/   defs + trace bytes (also seeds sync_decode)
 //   <outdir>/sync_decode/    trace bytes rich in sync records
@@ -107,6 +110,72 @@ void put_mutants(const fs::path& dir, const std::string& stem,
   }
 }
 
+/// A minimal v3 trace whose header layout is byte-addressable: rank 1,
+/// no sync records, two Enter events. Offsets (all varints one byte):
+/// rank@8, nsync@9, nev@10, per-type counts@11..15, type stream@16,
+/// time-column frame length@17, time payload@18.
+std::vector<std::uint8_t> small_v3_trace() {
+  tracing::LocalTrace t;
+  t.rank = 1;
+  for (int i = 1; i <= 2; ++i) {
+    tracing::Event e;
+    e.type = tracing::EventType::Enter;
+    e.time = 1.0e-3 * i;
+    e.region = RegionId{i};
+    t.events.push_back(e);
+  }
+  return tracing::encode_local_trace(t, 3);
+}
+
+/// Replaces the time column of the minimal v3 trace with a hand-built
+/// payload, dropping everything after it (the decoder throws inside the
+/// time column, so later columns are never reached).
+std::vector<std::uint8_t> with_time_payload(
+    const std::vector<std::uint8_t>& payload) {
+  auto bytes = small_v3_trace();
+  bytes.resize(17);  // keep header + type stream, drop the time frame
+  bytes.push_back(static_cast<std::uint8_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+/// v3-specific structured mutants: columnar-format corners (type-stream
+/// nibbles, per-type count cross-checks, column frames) and the double
+/// codec's validated fields (XOR lead bytes, scale indices, residual
+/// widths). Each hits one exact ErrorCode in the corruption matrix.
+void put_v3_mutants(const fs::path& dir) {
+  const auto base = small_v3_trace();
+
+  auto bad_nibble = base;
+  bad_nibble[16] = 0x07;  // event type 7: no such type
+  put(dir, "v3_bad_nibble", bad_nibble);
+
+  auto type_mismatch = base;
+  type_mismatch[16] = 0x10;  // second nibble says Exit; header says Enter
+  put(dir, "v3_type_count_mismatch", type_mismatch);
+
+  auto count_sum = base;
+  count_sum[11] = 3;  // per-type counts sum to 3, header declares 2 events
+  put(dir, "v3_count_sum_mismatch", count_sum);
+
+  auto col_len = base;
+  col_len[17] += 1;  // frame longer than the codec consumes
+  put(dir, "v3_column_len_mismatch", col_len);
+
+  put(dir, "v3_trunc_column",  // cut mid time column
+      std::vector<std::uint8_t>(base.begin(), base.begin() + 19));
+
+  auto overrun = base;
+  overrun[17] = 200;  // frame declares more bytes than the file holds
+  put(dir, "v3_column_overrun", overrun);
+
+  // Codec-level corners: mode byte + the first validated field.
+  put(dir, "v3_bad_xor_lead", with_time_payload({0x01, 0x41}));      // 65>64
+  put(dir, "v3_bad_scale_index", with_time_payload({0x02, 0xC8}));   // 200
+  put(dir, "v3_bad_res_width", with_time_payload({0x04, 0x00, 0x41}));
+  put(dir, "v3_bad_mode", with_time_payload({0x2A}));  // unknown mode 42
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,8 +205,15 @@ int main(int argc, char** argv) {
       const std::string stem = "rank" + std::to_string(t.rank);
       put(trace_dir, stem, bytes);
       put(sync_dir, stem, bytes);
-      if (t.rank == 0) put_mutants(trace_dir, stem, bytes);
+      if (t.rank == 0) {
+        put_mutants(trace_dir, stem, bytes);
+        // The legacy row-wise encodings stay decodable behind the
+        // version switch — seed both so mutation keeps covering them.
+        put(trace_dir, stem + "_v1", tracing::encode_local_trace(t, 1));
+        put(trace_dir, stem + "_v2", tracing::encode_local_trace(t, 2));
+      }
     }
+    put_v3_mutants(trace_dir);
     // An empty trace is valid too — seed the minimal accepting input.
     tracing::LocalTrace empty;
     empty.rank = 0;
