@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -277,6 +278,95 @@ int main(int argc, char** argv) {
                        .set("v2_over_v3_bytes", Json(shrink))
                        .set("v2_over_v3_read_write_wall", Json(rw_speedup))
                        .set("cubes_identical", Json(fmt_cube_ok)));
+
+    // ---- streamed vs materialized replay over the same v3 archive ----
+    // The archive is written after synchronization (streaming replays
+    // it as-is, so the timestamps must already be corrected), then
+    // analyzed twice from disk: materialized (read_traces + parallel
+    // replay, peak = the whole collection) and streamed (windowed
+    // decode under a budget that forces single-event windows, peak =
+    // resident windows only). Gates: cubes bit-identical always, and at
+    // 1024 ranks the streamed peak must be >= 4x lower — both
+    // hardware-independent. The wall target — within 15% of the
+    // materialized replay — holds on >= 8 cores, where the windowed
+    // decode fans out like the materialized one and only the light
+    // prepare pass stays serial; on narrower machines the streamed
+    // side's extra serial decode work lands on the wall directly (like
+    // the speedup target above, the attainable figure is capped by the
+    // core count, which the sidecar records for comparability).
+    {
+      auto tcs = data.traces;
+      clocksync::synchronize(tcs);
+      clocksync::AmortizationConfig acfg;
+      clocksync::amortize_violations(tcs, acfg);
+      const std::string dir = base + "/stream_r" + std::to_string(ranks);
+      const auto layout =
+          archive::FileSystemLayout::per_metahost(dir, topo.num_metahosts());
+      const auto ar =
+          archive::ExperimentArchive::create(topo, layout, "pipeline");
+      ar.write_traces(topo, tcs);
+
+      // Both sides are timed best-of-kReps: a single sample at this
+      // scale is mostly scheduler/page-cache noise, and the minimum is
+      // the standard estimator for the actual cost of the work.
+      constexpr int kReps = 3;
+      StageTimer timer;
+      double mat_ms = 0.0;
+      std::optional<analysis::AnalysisResult> mat;
+      for (int rep = 0; rep < kReps; ++rep) {
+        timer.take_ms();
+        const auto tcm = ar.read_traces();
+        auto r = analysis::analyze_parallel(tcm);
+        const double ms = timer.take_ms();
+        if (rep == 0 || ms < mat_ms) mat_ms = ms;
+        mat = std::move(r);
+      }
+
+      const auto src = ar.stream_source(archive::ReadOptions{});
+      analysis::ReplayOptions sopts;
+      sopts.memory_budget_bytes = static_cast<std::size_t>(ranks) * 96;
+      double stream_ms = 0.0;
+      std::optional<analysis::AnalysisResult> streamed;
+      for (int rep = 0; rep < kReps; ++rep) {
+        timer.take_ms();
+        auto r = analysis::analyze_streaming(src, sopts);
+        const double ms = timer.take_ms();
+        if (rep == 0 || ms < stream_ms) stream_ms = ms;
+        streamed = std::move(r);
+      }
+
+      const bool stream_cube_ok =
+          mat->cube.approx_equal(streamed->cube, 0.0) &&
+          ref_cube.approx_equal(streamed->cube, 0.0);
+      const double reduction =
+          static_cast<double>(mat->stats.trace_bytes_in_memory) /
+          static_cast<double>(
+              std::max<std::size_t>(streamed->stats.trace_bytes_in_memory, 1));
+      const double overhead_pct = (stream_ms - mat_ms) / mat_ms * 100.0;
+      std::printf(
+          "streamed vs materialized at %d ranks: peak %zu -> %zu bytes "
+          "(%.1fx lower), replay %.1f -> %.1f ms (%+.1f%%), cubes "
+          "identical: %s\n",
+          ranks, mat->stats.trace_bytes_in_memory,
+          streamed->stats.trace_bytes_in_memory, reduction, mat_ms, stream_ms,
+          overhead_pct, stream_cube_ok ? "yes" : "NO");
+      report.add_row(
+          "stream",
+          Json{Json::Object{}}
+              .set("ranks", Json(ranks))
+              .set("memory_budget_bytes",
+                   Json(sopts.memory_budget_bytes))
+              .set("stream_peak_resident_bytes",
+                   Json(streamed->stats.trace_bytes_in_memory))
+              .set("materialized_peak_resident_bytes",
+                   Json(mat->stats.trace_bytes_in_memory))
+              .set("peak_reduction_factor", Json(reduction))
+              .set("materialized_ms", Json(mat_ms))
+              .set("stream_ms", Json(stream_ms))
+              .set("stream_overhead_pct", Json(overhead_pct))
+              .set("wall_within_15pct", Json(overhead_pct <= 15.0))
+              .set("cubes_identical", Json(stream_cube_ok)));
+    }
   }
   std::printf("%s", t.render().c_str());
   std::filesystem::remove_all(base);
@@ -287,7 +377,11 @@ int main(int argc, char** argv) {
       "hardware concurrency)). Target on >= 8 cores: >= 3x total at 1024\n"
       "ranks / 8 workers. 'cube ok' must read 'yes' in every row — the\n"
       "per-rank fan-out writes disjoint slots, so the cube is bit-identical\n"
-      "to the fully serial pipeline at any worker count.");
+      "to the fully serial pipeline at any worker count.\n"
+      "Streaming: peak resident bytes must be >= 4x below materialized at\n"
+      "1024 ranks with bit-identical cubes on any machine; the wall target\n"
+      "(within 15% of materialized) applies on >= 8 cores, where the\n"
+      "windowed decode fans out and only the light prepare pass is serial.");
   report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 //           [--trace-out trace.json] [--sample-interval-ms n]
 //           [--patterns key[,key...]] [--list-patterns]
 //           [--archive-dir dir] [--permissive] [--trace-format n]
+//           [--stream] [--memory-budget bytes]
 //           [--log-level {debug,info,warn,error,off}]
 //
 // --archive-dir routes the traces through the on-disk archive layer:
@@ -21,6 +22,17 @@
 // selects the trace format version the archive writes (1–3; default is
 // the current columnar v3) — useful for producing legacy fixtures and
 // for measuring v2-vs-v3 archive sizes; readers auto-detect.
+//
+// --stream analyzes the archive *out of core* instead of materializing
+// it: clock synchronization runs first (streaming needs synchronized
+// timestamps on disk), the synchronized traces are written as a v3
+// archive under --archive-dir, and analysis::analyze_streaming replays
+// them in bounded windows straight out of the mapped files.
+// --memory-budget caps the decoded trace bytes resident across all
+// ranks at once (default: a generous 4096-event window per rank). The
+// severity cube is bit-identical to the in-memory analysis. --stream
+// requires --archive-dir and the v3 format; --permissive composes
+// (quarantined ranks stream zero events).
 //
 // --metrics writes the full telemetry snapshot (pipeline-stage spans,
 // counters, histograms, run metadata, and — when the sampler ran — the
@@ -61,6 +73,7 @@
 #include "report/profile.hpp"
 #include "report/timeline.hpp"
 #include "report/render.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/sampler.hpp"
@@ -131,6 +144,8 @@ int main(int argc, char** argv) {
   std::string archive_dir;
   int trace_format = 0;  // 0 = current (tracing::kTraceFormatVersion)
   bool permissive = false;
+  bool streaming = false;
+  long long memory_budget = 0;
   bool want_profile = false;
   bool want_amortize = false;
   bool want_timeline = false;
@@ -181,6 +196,12 @@ int main(int argc, char** argv) {
       trace_format = std::atoi(argv[i] + 15);
     } else if (std::strcmp(argv[i], "--permissive") == 0) {
       permissive = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      streaming = true;
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      memory_budget = std::atoll(argv[++i]);
+    } else if (std::strncmp(argv[i], "--memory-budget=", 16) == 0) {
+      memory_budget = std::atoll(argv[i] + 16);
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       telemetry::set_progress_enabled(true);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
@@ -202,6 +223,28 @@ int main(int argc, char** argv) {
                  "%u..%u)\n",
                  trace_format, tracing::kMinTraceFormatVersion,
                  tracing::kTraceFormatVersion);
+    return 1;
+  }
+  if (streaming && archive_dir.empty()) {
+    std::fprintf(stderr,
+                 "msc_run: --stream requires --archive-dir (streaming "
+                 "replays the on-disk archive)\n");
+    return 1;
+  }
+  if (streaming && trace_format != 0 &&
+      trace_format < static_cast<int>(tracing::kTraceFormatVersion)) {
+    std::fprintf(stderr,
+                 "msc_run: --stream requires the columnar v%u trace format "
+                 "(row-wise v%d archives must be materialized)\n",
+                 tracing::kTraceFormatVersion, trace_format);
+    return 1;
+  }
+  if (memory_budget < 0) {
+    std::fprintf(stderr, "msc_run: --memory-budget must be >= 0\n");
+    return 1;
+  }
+  if (memory_budget > 0 && !streaming) {
+    std::fprintf(stderr, "msc_run: --memory-budget requires --stream\n");
     return 1;
   }
 
@@ -252,10 +295,12 @@ int main(int argc, char** argv) {
                 data.exec.end_time.s, data.traces.total_events(),
                 static_cast<unsigned long long>(data.exec.stats.messages));
 
-    if (!archive_dir.empty()) {
+    if (!archive_dir.empty() && !streaming) {
       // Round-trip through the on-disk archive so the analyzed traces
       // pass through the hardened decode layer (and, with --permissive,
-      // its quarantine-and-proceed recovery).
+      // its quarantine-and-proceed recovery). (--stream instead writes
+      // the archive after clock synchronization and analyzes it out of
+      // core below.)
       const auto layout = archive::FileSystemLayout::shared(
           archive_dir, spec.topology.num_metahosts());
       const auto arch =
@@ -318,7 +363,48 @@ int main(int argc, char** argv) {
 
     analysis::ReplayOptions aopts;
     aopts.patterns = have_cli_patterns ? cli_patterns : spec.patterns;
-    const auto res = analysis::analyze_parallel(data.traces, aopts);
+    aopts.memory_budget_bytes = static_cast<std::size_t>(memory_budget);
+    analysis::AnalysisResult res;
+    if (streaming) {
+      // Out-of-core path: the *synchronized* traces go to disk (clock
+      // correction rewrites timestamps in memory, so the archive must
+      // be written after it for the streamed cube to match), then the
+      // replay pulls them back in bounded windows.
+      const auto layout = archive::FileSystemLayout::shared(
+          archive_dir, spec.topology.num_metahosts());
+      const auto arch = archive::ExperimentArchive::create(
+          spec.topology, layout, spec.name);
+      arch.write_traces(spec.topology, data.traces, archive::WriteOptions{});
+      archive::ReadOptions ropts;
+      ropts.permissive = permissive;
+      archive::ReadReport rep;
+      const auto src = arch.stream_source(ropts, &rep);
+      std::printf("streaming analysis from %s (%s mode, budget %s)\n",
+                  archive_dir.c_str(), permissive ? "permissive" : "strict",
+                  memory_budget > 0 ? std::to_string(memory_budget).c_str()
+                                    : "default");
+      if (!rep.quarantined.empty()) {
+        std::printf("quarantined %zu rank(s):\n", rep.quarantined.size());
+        for (const auto& q : rep.quarantined)
+          std::printf("  rank %d: [%s] %s (%s)\n", q.rank,
+                      to_string(q.code), q.reason.c_str(), q.path.c_str());
+        Json qmeta{Json::Object{}};
+        Json qranks{Json::Array{}};
+        for (const auto& q : rep.quarantined)
+          qranks.push_back(Json(static_cast<std::int64_t>(q.rank)));
+        qmeta.set("quarantined_ranks", std::move(qranks));
+        telemetry::merge_run_metadata("ingestion", std::move(qmeta));
+      }
+      res = analysis::analyze_streaming(src, aopts);
+      std::printf(
+          "streamed %zu events in %llu windows, peak resident %zu bytes\n\n",
+          res.stats.events,
+          static_cast<unsigned long long>(
+              telemetry::counter("analysis.stream.windows").value()),
+          res.stats.trace_bytes_in_memory);
+    } else {
+      res = analysis::analyze_parallel(data.traces, aopts);
+    }
     std::printf("%s\n", report::render_report(res.cube).c_str());
     for (MetricId m :
          {res.patterns.grid_late_sender, res.patterns.grid_late_receiver,

@@ -25,6 +25,10 @@
 #include "report/cube.hpp"
 #include "tracing/trace.hpp"
 
+namespace metascope::tracing {
+struct StreamSource;  // tracing/stream.hpp
+}
+
 namespace metascope::analysis {
 
 /// Per-analysis summary counters. Since the telemetry refactor these
@@ -42,10 +46,14 @@ struct AnalysisStats {
   /// analyzer only). Compare against trace_bytes_in_memory: the paper's
   /// claim is that this is much smaller than shipping traces around.
   std::size_t replay_bytes{0};
-  /// Resident size of all local traces (tracing::in_memory_bytes) —
+  /// Resident size of the trace data the analysis held at its peak —
   /// deliberately NOT the encoded on-disk size, which depends on the
   /// trace format version and is accounted separately by the archive
   /// layer (telemetry counters archive.bytes_on_disk / .read.bytes).
+  /// Materializing analyzers report tracing::in_memory_bytes of the
+  /// whole collection; analyze_streaming counts only resident windows
+  /// (plus the always-materialized sync records) and reports the
+  /// high-water mark, which is what the memory budget bounds.
   std::size_t trace_bytes_in_memory{0};
   std::size_t events{0};
 
@@ -86,6 +94,17 @@ struct ReplayOptions {
   /// before throwing. 0 disables the postmortem. Ignored by
   /// analyze_serial.
   std::size_t postmortem_events{32};
+  /// analyze_streaming only: cap on the decoded trace events resident
+  /// across all ranks at once. Drives window *sizing* — each rank's
+  /// window holds ~budget/(ranks * per-event footprint) events, floored
+  /// at one event — never cross-rank blocking, so a tiny budget can
+  /// degrade to single-event windows but can never deadlock the
+  /// replay. A window extends past its nominal size only while a
+  /// Send/Recv inside it still awaits its enclosing call's exit (in
+  /// practice a handful of events: messages sit directly inside their
+  /// MPI call region). 0 = a generous default window (4096 events per
+  /// rank). Ignored by the materializing analyzers.
+  std::size_t memory_budget_bytes{0};
 };
 
 /// Serial (merged-trace) pattern search. Requires a synchronized
@@ -99,5 +118,17 @@ AnalysisResult analyze_serial(const tracing::TraceCollection& tc,
 /// analyze_serial, for any worker count.
 AnalysisResult analyze_parallel(const tracing::TraceCollection& tc,
                                 const ReplayOptions& opts = {});
+
+/// Out-of-core streaming replay over a v3 archive: the same parallel
+/// replay, but each rank task decodes its trace in bounded windows
+/// straight out of the mapped file (tracing::TraceStream) instead of
+/// materializing the event vectors first. Peak trace-resident memory is
+/// bounded by ReplayOptions::memory_budget_bytes; the severity cube is
+/// bit-identical to analyze_serial / analyze_parallel for any budget
+/// and worker count. Requires a synchronized source (or scheme None) —
+/// clock correction rewrites timestamps in memory, so archives must be
+/// written *after* synchronization to be streamable.
+AnalysisResult analyze_streaming(const tracing::StreamSource& src,
+                                 const ReplayOptions& opts = {});
 
 }  // namespace metascope::analysis

@@ -136,23 +136,37 @@ PatternEngine::PatternEngine(PatternRegistry& registry, report::Cube& cube)
 
 PatternSet PatternEngine::install(const tracing::TraceCollection& tc,
                                   const PreparedTrace& prep) {
+  const PatternSet ps = install_trees(tc, prep.calls, prep.region_table);
+  region_pass(prep.excl_time);
+  return ps;
+}
+
+PatternSet PatternEngine::install_trees(const tracing::TraceCollection& tc,
+                                        const report::CallTree& calls,
+                                        const RegionClassTable& region_table) {
   tc_ = &tc;
-  prep_ = &prep;
+  region_table_ = &region_table;
   registry_->install(cube_->metrics);
-  cube_->calls = prep.calls;
+  cube_->calls = calls;
   cube_->regions = tc.defs.regions;
   cube_->system = tc.defs;
+  return PatternSet::from_tree(cube_->metrics);
+}
 
+void PatternEngine::region_pass(
+    const std::vector<std::vector<ExclusiveTime>>& excl_time) {
+  MSC_CHECK(tc_ != nullptr, "PatternEngine::region_pass before install");
   // Region pass: per-cnode categories from the class table (indexed
   // loads, no strings), then ranks ascending, call paths in id order —
   // exactly the pre-engine base accumulation's add sequence.
-  std::vector<RegionCategory> cats(prep.calls.size());
-  for (std::size_t c = 0; c < prep.calls.size(); ++c)
-    cats[c] = prep.region_table.category(
-        prep.calls.node(CallPathId{static_cast<int>(c)}).region);
+  const report::CallTree& calls = cube_->calls;
+  std::vector<RegionCategory> cats(calls.size());
+  for (std::size_t c = 0; c < calls.size(); ++c)
+    cats[c] = region_table_->category(
+        calls.node(CallPathId{static_cast<int>(c)}).region);
 
-  for (Rank r = 0; r < tc.num_ranks(); ++r) {
-    for (const auto& et : prep.excl_time[static_cast<std::size_t>(r)]) {
+  for (Rank r = 0; r < tc_->num_ranks(); ++r) {
+    for (const auto& et : excl_time[static_cast<std::size_t>(r)]) {
       RegionCtx ctx;
       ctx.cnode = et.cnode;
       ctx.rank = r;
@@ -168,7 +182,6 @@ PatternSet PatternEngine::install(const tracing::TraceCollection& tc,
       }
     }
   }
-  return PatternSet::from_tree(cube_->metrics);
 }
 
 void PatternEngine::dispatch(std::vector<P2pRecord>&& p2p,
@@ -197,7 +210,7 @@ void PatternEngine::dispatch(std::vector<P2pRecord>&& p2p,
     ctx.send = &r.send;
     ctx.recv = &r.recv;
     ctx.send_is_blocking_standard =
-        prep_->region_table.is_blocking_standard_send(r.send.region);
+        region_table_->is_blocking_standard_send(r.send.region);
     ctx.grid = defs.crosses_metahosts(r.send.rank, r.recv.rank);
     for (const Sub& s : on_p2p_) {
       sink_.set_current(s.slot);
@@ -215,7 +228,7 @@ void PatternEngine::dispatch(std::vector<P2pRecord>&& p2p,
               });
     CollCtx ctx;
     ctx.defs = &defs;
-    ctx.kind = prep_->region_table.kind(inst.region);
+    ctx.kind = region_table_->kind(inst.region);
     ctx.comm_members = &comm.members;
     ctx.members = &inst.members;
     ctx.root = inst.root;

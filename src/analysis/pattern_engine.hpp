@@ -265,6 +265,20 @@ class PatternEngine {
   PatternSet install(const tracing::TraceCollection& tc,
                      const PreparedTrace& prep);
 
+  /// Streaming variant of install: trees and detector binding only, no
+  /// region pass. The streaming analyzer's call tree and exclusive
+  /// times come out of its own windowed passes, so it installs first
+  /// and runs region_pass() once the replay has accumulated them.
+  PatternSet install_trees(const tracing::TraceCollection& tc,
+                           const report::CallTree& calls,
+                           const RegionClassTable& region_table);
+
+  /// The region pass over per-rank exclusive times, detached from
+  /// PreparedTrace: ranks ascending, each rank's call paths in id
+  /// order — exactly the add sequence install(tc, prep) runs, so cubes
+  /// stay bit-identical whichever entry point built the trees.
+  void region_pass(const std::vector<std::vector<ExclusiveTime>>& excl_time);
+
   /// Sorts the records into canonical order, dispatches p2p_matched
   /// once per message and collective_completed once per instance, runs
   /// finalize, fills stats.messages / stats.collective_instances, and
@@ -276,7 +290,7 @@ class PatternEngine {
   PatternRegistry* registry_;
   report::Cube* cube_;
   const tracing::TraceCollection* tc_{nullptr};
-  const PreparedTrace* prep_{nullptr};
+  const RegionClassTable* region_table_{nullptr};
   PatternSink sink_;
   /// Enabled detectors per callback, as (slot, detector) in
   /// registration order.

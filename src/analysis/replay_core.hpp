@@ -55,8 +55,12 @@ P2pSide make_side(const PreparedTrace& prep, Rank rank, std::uint32_t index);
 std::vector<CollInstance> group_collectives(const tracing::TraceCollection& tc,
                                             const PreparedTrace& prep);
 
-/// Fills the trace-volume stats both analyzers report (total events,
-/// resident trace bytes — see tracing::in_memory_bytes).
+/// Fills the trace-volume stats the *materializing* analyzers report:
+/// total events and resident trace bytes, where "resident" is the whole
+/// collection (tracing::in_memory_bytes) because that is what those
+/// analyzers actually hold. analyze_streaming does not call this — it
+/// accounts only the windows resident at once and reports the
+/// high-water mark (asserted against the budget in the stream tests).
 void fill_trace_stats(const tracing::TraceCollection& tc,
                       AnalysisStats& stats);
 

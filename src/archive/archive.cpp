@@ -381,6 +381,106 @@ tracing::TraceCollection ExperimentArchive::read_traces(
   return read_traces(opts);
 }
 
+tracing::StreamSource ExperimentArchive::stream_source(
+    const ReadOptions& opts, ReadReport* report) const {
+  MSC_CHECK(!dir_by_metahost_.empty(), "empty archive");
+  telemetry::ScopedSpan span("archive_stream_open");
+  if (report) *report = ReadReport{};
+
+  tracing::StreamSource src;
+  src.use_mmap = opts.use_mmap;
+  std::atomic<std::uint64_t> bytes{0};
+  {
+    const auto dirs = partial_dirs();
+    bool have_defs = false;
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      const std::string path = dirs[i] + "/" + tracing::defs_filename();
+      try {
+        const MappedFile f = MappedFile::open(path, opts.use_mmap);
+        src.defs = tracing::decode_defs(f.data(), f.size(), path);
+        bytes.fetch_add(f.size(), std::memory_order_relaxed);
+        have_defs = true;
+        break;
+      } catch (const Error&) {
+        if (!opts.permissive || i + 1 == dirs.size()) throw;
+      }
+    }
+    MSC_ASSERT(have_defs, "defs decode fell through");
+  }
+
+  src.paths.resize(static_cast<std::size_t>(src.defs.num_ranks()));
+  std::vector<std::pair<std::size_t, Rank>> files;
+  for (std::size_t m = 0; m < dir_by_metahost_.size(); ++m)
+    for (Rank r : ranks_by_metahost_[m]) {
+      files.emplace_back(m, r);
+      src.paths[static_cast<std::size_t>(r)] =
+          dir_by_metahost_[m] + "/" + tracing::trace_filename(r);
+    }
+
+  // Open-time validation fan-out: everything short of the column
+  // payloads is checked per rank, so a corrupt file is caught (and, in
+  // permissive mode, quarantined) before any analysis state exists.
+  // The replay re-opens the files; the whole file's bytes are counted
+  // as read here, since streaming decodes all of them exactly once.
+  std::mutex quarantine_mu;
+  std::vector<QuarantineRecord> quarantined;
+  telemetry::RecordingObserver rec_obs(
+      "archive_stream_open",
+      telemetry::RecordingObserver::fanout_stride(files.size()));
+  const auto pst = parallel_for(
+      files.size(), opts.max_workers,
+      [&](std::size_t i) {
+        const auto [m, r] = files[i];
+        const std::string& path = src.paths[static_cast<std::size_t>(r)];
+        try {
+          const MappedFile f = MappedFile::open(path, opts.use_mmap);
+          tracing::TraceStream s(f.data(), f.size(), path);
+          bytes.fetch_add(f.size(), std::memory_order_relaxed);
+          if (s.rank() != r)
+            throw Error(ErrorCode::Corrupt,
+                        "trace file rank mismatch (file claims rank " +
+                            std::to_string(s.rank()) + ")",
+                        ErrorContext{path, r, -1});
+          if (opts.permissive) {
+            // Quarantine decisions must match read_traces, and open-time
+            // validation alone cannot see codec-level corruption inside
+            // the column payloads. Permissive mode therefore drains each
+            // stream once — windows are decoded and discarded, nothing
+            // is materialized — so every rank is classified up front.
+            // Strict mode skips the drain: payload corruption surfaces
+            // from whichever replay window decodes it, with the same
+            // error code and file/rank context.
+            std::vector<tracing::Event> sink;
+            while (!s.at_end()) {
+              sink.clear();
+              s.next(sink, 4096);
+            }
+          }
+        } catch (const Error& e) {
+          if (!opts.permissive)
+            throw e.with_context(ErrorContext{path, r, -1});
+          const std::lock_guard<std::mutex> lock(quarantine_mu);
+          quarantined.push_back(
+              QuarantineRecord{r, path, e.code(), e.base_message()});
+        }
+      },
+      &rec_obs);
+  telemetry::record_stage_parallelism("archive_stream_open", pst);
+  telemetry::counter("archive.read.bytes")
+      .add(bytes.load(std::memory_order_relaxed));
+
+  if (!quarantined.empty()) {
+    std::sort(quarantined.begin(), quarantined.end(),
+              [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                return a.rank < b.rank;
+              });
+    telemetry::counter("archive.read.quarantined").add(quarantined.size());
+    for (const auto& q : quarantined) src.quarantined.push_back(q.rank);
+    if (report) report->quarantined = std::move(quarantined);
+  }
+  return src;
+}
+
 tracing::LocalTrace ExperimentArchive::read_local_trace(
     const simnet::Topology& topo, Rank r) const {
   const std::string path =

@@ -27,6 +27,7 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "simnet/topology.hpp"
+#include "tracing/stream.hpp"
 #include "tracing/trace.hpp"
 
 namespace metascope::archive {
@@ -171,6 +172,21 @@ class ExperimentArchive {
   /// Back-compat shim: strict read with a worker-count cap.
   [[nodiscard]] tracing::TraceCollection read_traces(
       std::size_t max_workers = 0) const;
+
+  /// Builds a bounded-memory streaming view of the archive instead of
+  /// materializing it: the shared definitions plus each rank's
+  /// trace-file path, with every trace file validated up front through
+  /// the windowed reader (tracing::TraceStream — header, counts, type
+  /// stream and column frames are checked; column payloads stay on
+  /// disk until replay windows pull them in). Strict mode rethrows the
+  /// first failure with file/rank context. Permissive mode quarantines
+  /// undecodable ranks in the source (and the report): they stream
+  /// zero events and analysis::analyze_streaming filters surviving
+  /// ranks' events against them on the fly, mirroring
+  /// tracing::prune_quarantined. Requires a v3 archive (older versions
+  /// are VersionMismatch — materialize them with read_traces).
+  [[nodiscard]] tracing::StreamSource stream_source(
+      const ReadOptions& opts, ReadReport* report = nullptr) const;
 
   /// Loads one rank's trace from the partial archive of its metahost —
   /// the parallel analyzer's access pattern (local data only).

@@ -440,4 +440,173 @@ void decode_double_column(Decoder& d, double* out, std::size_t n) {
   }
 }
 
+// --- chunked cursors ---------------------------------------------------
+
+namespace {
+
+/// Shared frame-contract check for the cursors, mirroring end_column in
+/// the batch reader (tracing/epilog_io): the codec must consume exactly
+/// the framed byte count, no more, no less.
+void check_frame(const Decoder& d, std::size_t consumed,
+                 std::size_t frame_len, const char* what) {
+  if (consumed != frame_len)
+    d.fail(ErrorCode::Corrupt,
+           std::string("column length mismatch for ") + what +
+               " column: codec consumed through byte " +
+               std::to_string(consumed) + " but the frame ends at byte " +
+               std::to_string(frame_len));
+}
+
+}  // namespace
+
+IntColumnCursor::IntColumnCursor(const std::uint8_t* data, std::size_t size,
+                                 std::size_t frame_len, std::size_t n,
+                                 const char* what, ErrorContext ctx)
+    : dec_(data, size, std::move(ctx)),
+      frame_len_(frame_len),
+      n_(n),
+      what_(what) {}
+
+void IntColumnCursor::next(std::int64_t* out, std::size_t k) {
+  MSC_CHECK(produced_ + k <= n_, "int column cursor overrun");
+  for (std::size_t i = 0; i < k; ++i) {
+    acc_ += static_cast<std::uint64_t>(dec_.get_svarint());
+    out[i] = static_cast<std::int64_t>(acc_);
+  }
+  produced_ += k;
+}
+
+void IntColumnCursor::finish() {
+  MSC_CHECK(produced_ == n_, "int column cursor finished early");
+  check_frame(dec_, dec_.pos(), frame_len_, what_);
+}
+
+DoubleColumnCursor::DoubleColumnCursor(const std::uint8_t* data,
+                                       std::size_t size,
+                                       std::size_t frame_len, std::size_t n,
+                                       const char* what, ErrorContext ctx)
+    : dec_(data, size, std::move(ctx)),
+      frame_len_(frame_len),
+      n_(n),
+      what_(what) {
+  // A zero-row column is omitted from the file entirely (no frame, no
+  // mode byte) — there is nothing to parse, and whatever bytes follow
+  // belong to someone else.
+  if (n_ == 0) return;
+  mode_ = dec_.get_u8();
+  switch (mode_) {
+    case kModeRaw:
+    case kModeXor:
+      return;
+    case kModeScaledDelta:
+    case kModeScaledDod:
+    case kModeScaledDeltaRes:
+    case kModeScaledDodRes: {
+      const std::uint8_t si = dec_.get_u8();
+      if (si >= kNumScales)
+        dec_.fail(ErrorCode::Corrupt,
+                  "bad scale index " + std::to_string(static_cast<int>(si)) +
+                      " in scaled double column");
+      scale_ = kScales[si];
+      dod_ = mode_ == kModeScaledDod || mode_ == kModeScaledDodRes;
+      with_res_ = mode_ == kModeScaledDeltaRes || mode_ == kModeScaledDodRes;
+      if (with_res_) {
+        width_ = dec_.get_u8();
+        if (width_ > 64)
+          dec_.fail(ErrorCode::Corrupt,
+                    "bad residual bit width " + std::to_string(width_) +
+                        " in scaled double column");
+        if (width_ > 0) {
+          // The residual bits start after the complete delta stream:
+          // skip-scan the n varints once so the two streams can then be
+          // consumed chunk by chunk in lockstep.
+          res_dec_ = dec_;
+          for (std::size_t i = 0; i < n_; ++i) (void)res_dec_.get_svarint();
+        }
+      }
+      return;
+    }
+    default:
+      dec_.fail(ErrorCode::Corrupt,
+                "unknown double-column mode " +
+                    std::to_string(static_cast<int>(mode_)));
+  }
+}
+
+void DoubleColumnCursor::next(double* out, std::size_t k) {
+  MSC_CHECK(produced_ + k <= n_, "double column cursor overrun");
+  switch (mode_) {
+    case kModeRaw:
+      for (std::size_t i = 0; i < k; ++i) out[i] = dec_.get_f64();
+      break;
+    case kModeXor:
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint8_t c = dec_.get_u8();
+        if (c == 0) {
+          out[i] = double_of(prev_bits_);
+          continue;
+        }
+        if (c > 64)
+          dec_.fail(ErrorCode::Corrupt,
+                    "bad XOR lead byte " +
+                        std::to_string(static_cast<int>(c)) +
+                        " in double column");
+        const int lz = (c - 1) >> 3;
+        const int m = ((c - 1) & 7) + 1;
+        if (lz + m > 8)
+          dec_.fail(ErrorCode::Corrupt,
+                    "bad XOR lead byte: window " + std::to_string(lz) + "+" +
+                        std::to_string(m) + " exceeds 8 bytes");
+        const int tz = 8 - lz - m;
+        std::uint64_t y = 0;
+        for (int j = 0; j < m; ++j)
+          y |= static_cast<std::uint64_t>(dec_.get_u8()) << (8 * j);
+        prev_bits_ ^= y << (8 * tz);
+        out[i] = double_of(prev_bits_);
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t step =
+            static_cast<std::uint64_t>(dec_.get_svarint());
+        if (dod_) {
+          delta_ += step;
+          k_ += delta_;
+        } else {
+          k_ += step;
+        }
+        out[i] = static_cast<double>(static_cast<std::int64_t>(k_)) * scale_;
+      }
+      if (with_res_ && width_ > 0) {
+        for (std::size_t i = 0; i < k; ++i) {
+          std::uint64_t u = 0;
+          int got = 0;
+          while (got < width_) {
+            if (res_avail_ == 0) {
+              res_buf_ = res_dec_.get_u8();
+              res_avail_ = 8;
+            }
+            const int take =
+                width_ - got < res_avail_ ? width_ - got : res_avail_;
+            u |= (res_buf_ & ((1ULL << take) - 1)) << got;
+            res_buf_ >>= take;
+            res_avail_ -= take;
+            got += take;
+          }
+          const std::uint64_t res = (u >> 1) ^ (0 - (u & 1));  // un-zigzag
+          out[i] =
+              double_of(from_ordered(to_ordered(bits_of(out[i])) + res));
+        }
+      }
+      break;
+  }
+  produced_ += k;
+}
+
+void DoubleColumnCursor::finish() {
+  MSC_CHECK(produced_ == n_, "double column cursor finished early");
+  const bool split = with_res_ && width_ > 0;
+  check_frame(dec_, split ? res_dec_.pos() : dec_.pos(), frame_len_, what_);
+}
+
 }  // namespace metascope::colcodec

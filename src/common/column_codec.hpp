@@ -72,4 +72,87 @@ void encode_double_column(BufWriter& w, const double* v, std::size_t n);
 /// bit-identical to the encoder's input.
 void decode_double_column(Decoder& d, double* out, std::size_t n);
 
+// --- chunked cursors (streaming reads) ---------------------------------
+//
+// Stateful decoders over one encoded column that produce the rows in
+// caller-sized chunks instead of all at once — the windowed trace
+// reader (tracing/stream) holds one cursor per column and pulls only
+// the rows of the current replay window. Chunk boundaries are
+// invisible in the output: any chunking decodes bit-identically to the
+// batch decoders above, because every per-value transform (delta
+// accumulation, XOR chaining, residual application) carries its state
+// in the cursor.
+//
+// Both cursors borrow the file bytes (like Decoder) and are given the
+// column's framed byte length up front; `finish()` re-checks the frame
+// contract after the last row exactly like the batch path — a codec
+// that consumed a different number of bytes than the frame declared is
+// Corrupt ("column length mismatch"), and running past the end of the
+// underlying buffer mid-chunk is Truncated. Error offsets are relative
+// to the column payload (the batch path reports file-absolute offsets);
+// codes and wording match.
+
+/// Chunked variant of decode_int_column.
+class IntColumnCursor {
+ public:
+  IntColumnCursor() = default;
+  /// `data/size` must start at the column payload and extend to the end
+  /// of the underlying file; `frame_len` is the column's declared byte
+  /// length and `n` its row count.
+  IntColumnCursor(const std::uint8_t* data, std::size_t size,
+                  std::size_t frame_len, std::size_t n, const char* what,
+                  ErrorContext ctx);
+
+  /// Decodes the next `k` rows (produced() + k must be <= n).
+  void next(std::int64_t* out, std::size_t k);
+  /// After all n rows: Corrupt unless exactly frame_len bytes were used.
+  void finish();
+
+  [[nodiscard]] std::size_t produced() const { return produced_; }
+
+ private:
+  Decoder dec_{nullptr, 0};
+  std::size_t frame_len_{0};
+  std::size_t n_{0};
+  std::size_t produced_{0};
+  const char* what_{"int"};
+  std::uint64_t acc_{0};
+};
+
+/// Chunked variant of decode_double_column. The mode header (mode byte,
+/// scale index, residual width) is read and validated on construction;
+/// for the residual-carrying modes the cursor additionally locates the
+/// bit-packed residual stream (one skip-scan over the delta varints, no
+/// allocation) so deltas and residuals can advance independently.
+class DoubleColumnCursor {
+ public:
+  DoubleColumnCursor() = default;
+  DoubleColumnCursor(const std::uint8_t* data, std::size_t size,
+                     std::size_t frame_len, std::size_t n, const char* what,
+                     ErrorContext ctx);
+
+  void next(double* out, std::size_t k);
+  void finish();
+
+  [[nodiscard]] std::size_t produced() const { return produced_; }
+
+ private:
+  Decoder dec_{nullptr, 0};      // mode header + value/delta stream
+  Decoder res_dec_{nullptr, 0};  // bit-packed residual stream (modes 4/5)
+  std::size_t frame_len_{0};
+  std::size_t n_{0};
+  std::size_t produced_{0};
+  const char* what_{"double"};
+  std::uint8_t mode_{0};
+  bool dod_{false};
+  bool with_res_{false};
+  int width_{0};
+  double scale_{1.0};
+  std::uint64_t prev_bits_{0};  // XOR chain state
+  std::uint64_t k_{0};          // wrapping quotient accumulator
+  std::uint64_t delta_{0};      // wrapping delta accumulator (ΔΔ modes)
+  std::uint64_t res_buf_{0};    // residual bit buffer
+  int res_avail_{0};
+};
+
 }  // namespace metascope::colcodec

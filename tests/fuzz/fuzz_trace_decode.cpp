@@ -12,11 +12,19 @@
 // stream, per-type count cross-checks, column frames, and the double
 // codec's validated fields (XOR lead bytes, scale indices, residual
 // bit widths).
+//
+// The windowed reader (tracing::TraceStream — the streaming analyzer's
+// lazy block-decode entry point) runs on the same input too: open-time
+// validation, the light prepare-pass scan, and a small-window drain
+// that forces per-window cursor refills mid-column. It must uphold the
+// same invariant as the batch decoder, and the truncated-mid-block
+// corpus mutants aim the mutator straight at the window boundaries.
 #include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
 #include "tracing/epilog_io.hpp"
+#include "tracing/stream.hpp"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
@@ -28,6 +36,17 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
   try {
     (void)metascope::tracing::decode_defs(bytes, "<fuzz>");
+  } catch (const metascope::Error&) {
+  }
+  try {
+    metascope::tracing::TraceStream s(bytes.data(), bytes.size(), "<fuzz>");
+    s.scan_light([](const metascope::tracing::LightEvent&) {});
+    // Tiny windows put every chunked cursor through mid-column refills.
+    std::vector<metascope::tracing::Event> sink;
+    while (!s.at_end()) {
+      sink.clear();
+      if (s.next(sink, 3) == 0) break;
+    }
   } catch (const metascope::Error&) {
   }
   return 0;

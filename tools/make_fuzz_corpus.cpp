@@ -176,6 +176,49 @@ void put_v3_mutants(const fs::path& dir) {
   put(dir, "v3_bad_mode", with_time_payload({0x2A}));  // unknown mode 42
 }
 
+/// Truncated-mid-block mutants for the windowed reader: a trace large
+/// enough that the streaming analyzer needs several decode windows per
+/// column, cut at points that land inside the later columns (past the
+/// type stream and the time column), so the lazy block-decode path hits
+/// end-of-file in the middle of a chunked cursor refill rather than at
+/// a frame boundary.
+void put_midblock_mutants(const fs::path& dir) {
+  tracing::LocalTrace t;
+  t.rank = 2;
+  double now = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    tracing::Event enter;
+    enter.type = tracing::EventType::Enter;
+    enter.time = now;
+    enter.region = RegionId{1 + (i % 5)};
+    t.events.push_back(enter);
+    tracing::Event send;
+    send.type = i % 2 == 0 ? tracing::EventType::Send
+                           : tracing::EventType::Recv;
+    send.time = now + 1e-5;
+    send.peer = (i * 7) % 4;
+    send.tag = i;
+    send.bytes = 64.0 * (1 + i % 9);
+    send.comm = CommId{0};
+    t.events.push_back(send);
+    tracing::Event exit;
+    exit.type = tracing::EventType::Exit;
+    exit.time = now + 3e-5;
+    t.events.push_back(exit);
+    now += 4.7e-5;
+  }
+  const auto bytes = tracing::encode_local_trace(t, 3);
+  for (const int pct : {55, 70, 85, 97}) {
+    put(dir, "v3_trunc_midblock_" + std::to_string(pct),
+        std::vector<std::uint8_t>(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(
+                                bytes.size() * static_cast<std::size_t>(pct) /
+                                100)));
+  }
+  put(dir, "v3_multiwindow", bytes);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +257,7 @@ int main(int argc, char** argv) {
       }
     }
     put_v3_mutants(trace_dir);
+    put_midblock_mutants(trace_dir);
     // An empty trace is valid too — seed the minimal accepting input.
     tracing::LocalTrace empty;
     empty.rank = 0;
